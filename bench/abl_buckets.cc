@@ -1,0 +1,46 @@
+// Ablation (§4.1): HBC's bucket count around the cost model's choice. The
+// Lambert-W b_exact (b = 0 in the options) should sit at or near the energy
+// minimum; b = 2 degenerates to POS's binary search, b = 64 to LCLL-style
+// message-filling histograms.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "algo/hbc.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+wsnq::ProtocolFactory HbcWithBuckets(const std::string& label, int buckets) {
+  return {label,
+          [buckets](int64_t k, int64_t lo, int64_t hi,
+                    const wsnq::WireFormat& wire) {
+            wsnq::HbcProtocol::Options options;
+            options.buckets = buckets;
+            return std::make_unique<wsnq::HbcProtocol>(k, lo, hi, wire,
+                                                       options);
+          }};
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsnq;
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  // A fast-moving quantile over a large universe keeps refinements frequent
+  // enough for the bucket count to matter.
+  base.synthetic.range_max = 65535;
+  base.synthetic.period_rounds = 32;
+  const std::vector<ProtocolFactory> factories = {
+      HbcWithBuckets("HBC-b2", 2),    HbcWithBuckets("HBC-b4", 4),
+      HbcWithBuckets("HBC-b8", 8),    HbcWithBuckets("HBC-bW", 0),
+      HbcWithBuckets("HBC-b24", 24),  HbcWithBuckets("HBC-b64", 64),
+      HbcWithBuckets("HBC-b256", 256),
+  };
+  return bench::RunSweep(
+      "abl-bkt", "synthetic", "period", {"125", "32"}, base, factories,
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

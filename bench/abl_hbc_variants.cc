@@ -1,0 +1,20 @@
+// Ablation (§4.1.1 vs §4.1.2): HBC with direct value retrieval + threshold
+// broadcasts (the evaluation default) against the no-threshold-broadcast
+// interval-filter variant, across quantile speeds. NTB never broadcasts the
+// quantile but must re-refine its (narrow) filter interval whenever it is
+// wider than one value.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "abl-hbc", "synthetic", "period", {"250", "63", "8"}, base,
+      {AlgorithmKind::kHbc, AlgorithmKind::kHbcNtb, AlgorithmKind::kPos},
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

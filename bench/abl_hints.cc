@@ -1,0 +1,48 @@
+// Ablation (§3.2 / §5.1.6): how much the hint machinery buys. Without
+// hints, POS binary-searches from +-infinity (log2 of the whole universe)
+// and HBC/IQ refine unbounded intervals; with hints the refinement interval
+// shrinks to the observed movement.
+
+#include <cstdlib>
+#include <memory>
+
+#include "algo/hbc.h"
+#include "algo/iq.h"
+#include "algo/pos.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+
+  std::vector<ProtocolFactory> factories;
+  for (bool hints : {true, false}) {
+    const char* suffix = hints ? "+h" : "-h";
+    factories.push_back(
+        {std::string("POS") + suffix,
+         [hints](int64_t k, int64_t lo, int64_t hi, const WireFormat& wire) {
+           PosProtocol::Options options;
+           options.use_hints = hints;
+           return std::make_unique<PosProtocol>(k, lo, hi, wire, options);
+         }});
+    factories.push_back(
+        {std::string("HBC") + suffix,
+         [hints](int64_t k, int64_t lo, int64_t hi, const WireFormat& wire) {
+           HbcProtocol::Options options;
+           options.use_hints = hints;
+           return std::make_unique<HbcProtocol>(k, lo, hi, wire, options);
+         }});
+    factories.push_back(
+        {std::string("IQ") + suffix,
+         [hints](int64_t k, int64_t lo, int64_t hi, const WireFormat& wire) {
+           IqProtocol::Options options;
+           options.use_hints = hints;
+           return std::make_unique<IqProtocol>(k, lo, hi, wire, options);
+         }});
+  }
+  return bench::RunSweep(
+      "abl-hints", "synthetic", "period", {"125", "32"}, base, factories,
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

@@ -1,0 +1,46 @@
+// Ablation (§4.2): IQ's two tuning knobs — the history length m of Eq. 1-2
+// and the window initialization strategy (mean gap vs median of gaps,
+// §4.2.1) — across quantile speeds. Larger m widens Xi (fewer refinements,
+// more values shipped during validation); the median-gap initialization is
+// robust to outliers among the k smallest values.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "algo/iq.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+wsnq::ProtocolFactory IqFactory(const std::string& label, int m,
+                                wsnq::IqProtocol::InitStrategy strategy) {
+  return {label,
+          [m, strategy](int64_t k, int64_t lo, int64_t hi,
+                        const wsnq::WireFormat& wire) {
+            wsnq::IqProtocol::Options options;
+            options.m = m;
+            options.init_strategy = strategy;
+            return std::make_unique<wsnq::IqProtocol>(k, lo, hi, wire,
+                                                      options);
+          }};
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  const std::vector<ProtocolFactory> factories = {
+      IqFactory("IQ-m2", 2, IqProtocol::InitStrategy::kMeanGap),
+      IqFactory("IQ-m4", 4, IqProtocol::InitStrategy::kMeanGap),
+      IqFactory("IQ-m6", 6, IqProtocol::InitStrategy::kMeanGap),
+      IqFactory("IQ-m12", 12, IqProtocol::InitStrategy::kMeanGap),
+      IqFactory("IQ-med", 6, IqProtocol::InitStrategy::kMedianGap),
+  };
+  return bench::RunSweep(
+      "abl-iq", "synthetic", "period", {"250", "63", "8"}, base, factories,
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

@@ -1,0 +1,21 @@
+// Ablation isolating IQ's window (§3.1's comparison with [19]): POS-SR is
+// POS validation plus one direct value-fetching refinement — IQ with an
+// empty window. IQ spends window values during validation to skip the
+// refinement round trip entirely; POS-SR pays the round trip on every
+// quantile movement but never ships window values. POS (full binary
+// search) anchors the other end.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "abl-sr", "synthetic", "period", {"250", "125", "63", "32", "8"}, base,
+      {AlgorithmKind::kPos, AlgorithmKind::kPosSr, AlgorithmKind::kIq},
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

@@ -1,0 +1,19 @@
+// Extension bench (§4.2 future work): the adaptive IQ/HBC switcher against
+// its two fixed-strategy parents across quantile speeds. The switcher
+// should track the better parent on both ends of the period sweep.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "abl-switch", "synthetic", "period", {"250", "125", "63", "32", "8"},
+      base,
+      {AlgorithmKind::kIq, AlgorithmKind::kHbc, AlgorithmKind::kSwitching},
+      [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

@@ -1,0 +1,27 @@
+// Ablation ([23]'s direction): the routing tree as a tuning knob. All
+// three parent-selection policies are hop-optimal; they differ in where
+// the reception load lands. Degree balancing helps hotspot-bound
+// protocols; nearest-parent minimizes per-link transmit energy.
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "abl-tree", "synthetic", "tree", {"nearest", "balanced", "random"},
+      base,
+      {AlgorithmKind::kTag, AlgorithmKind::kPos, AlgorithmKind::kHbc,
+       AlgorithmKind::kIq},
+      [](const std::string& x, SimulationConfig* config) {
+        if (x == "nearest") {
+          config->tree_strategy = ParentSelection::kNearest;
+        } else if (x == "balanced") {
+          config->tree_strategy = ParentSelection::kDegreeBalanced;
+        } else {
+          config->tree_strategy = ParentSelection::kRandom;
+        }
+      });
+}

@@ -1,0 +1,83 @@
+// Shared scaffolding of the figure-reproduction benches: default paper
+// configuration (§5.1.7) and the sweep loop that prints one report row per
+// (x-value, algorithm).
+
+#ifndef WSNQ_BENCH_BENCH_COMMON_H_
+#define WSNQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace wsnq {
+namespace bench {
+
+/// The paper's default synthetic configuration (Table 2 defaults).
+inline SimulationConfig DefaultSyntheticConfig() {
+  SimulationConfig config;
+  config.num_sensors = 256;
+  config.radio_range = 35.0;
+  config.rounds = RoundsFromEnv(250);
+  config.synthetic.period_rounds = 125;
+  config.synthetic.noise_percent = 5;
+  return config;
+}
+
+/// Runs one x-axis sweep over labeled protocol factories and prints rows.
+/// `configure` mutates the base config for a given x-value.
+inline int RunSweep(
+    const std::string& figure, const std::string& dataset,
+    const std::string& x_name, const std::vector<std::string>& x_values,
+    const SimulationConfig& base,
+    const std::vector<ProtocolFactory>& factories,
+    const std::function<void(const std::string&, SimulationConfig*)>&
+        configure) {
+  const int runs = RunsFromEnv(20);
+  PrintReportHeader();
+  int64_t total_errors = 0;
+  for (const std::string& x : x_values) {
+    SimulationConfig config = base;
+    configure(x, &config);
+    auto aggregates = RunExperiment(config, factories, runs);
+    if (!aggregates.ok()) {
+      std::fprintf(stderr, "sweep %s=%s failed: %s\n", x_name.c_str(),
+                   x.c_str(), aggregates.status().ToString().c_str());
+      return 1;
+    }
+    for (const AlgorithmAggregate& agg : aggregates.value()) {
+      PrintReportRow(figure, dataset, x_name, x, agg);
+      total_errors += agg.errors;
+    }
+  }
+  if (total_errors != 0) {
+    std::fprintf(stderr, "ORACLE MISMATCHES: %lld\n",
+                 static_cast<long long>(total_errors));
+    return 1;
+  }
+  return 0;
+}
+
+/// Convenience overload over registry algorithms with default options.
+inline int RunSweep(
+    const std::string& figure, const std::string& dataset,
+    const std::string& x_name, const std::vector<std::string>& x_values,
+    const SimulationConfig& base, const std::vector<AlgorithmKind>& algorithms,
+    const std::function<void(const std::string&, SimulationConfig*)>&
+        configure) {
+  std::vector<ProtocolFactory> factories;
+  factories.reserve(algorithms.size());
+  for (AlgorithmKind kind : algorithms) {
+    factories.push_back(DefaultFactory(kind));
+  }
+  return RunSweep(figure, dataset, x_name, x_values, base, factories,
+                  configure);
+}
+
+}  // namespace bench
+}  // namespace wsnq
+
+#endif  // WSNQ_BENCH_BENCH_COMMON_H_

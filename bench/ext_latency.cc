@@ -1,0 +1,78 @@
+// Extension bench: per-round channel occupancy (latency) under a TDMA MAC.
+// §5.1.4 assumes a scheduling MAC exists; this experiment builds it
+// (two-hop-interference-free slot coloring, net/schedule.h) and converts
+// each protocol's exchanges — convergecast waves and floods — into slots.
+// Refinement-heavy protocols pay serial round trips: an energy-cheap round
+// can still be slow, which matters when the sampling period is short.
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "core/experiment.h"
+#include "net/schedule.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace wsnq;
+  SimulationConfig config;
+  config.num_sensors = 256;
+  config.radio_range = 35.0;
+  config.rounds = RoundsFromEnv(250);
+  config.synthetic.period_rounds = 63;  // some movement every round
+  config.synthetic.noise_percent = 5;
+  const int runs = RunsFromEnv(20);
+
+  std::printf("%-10s %-9s %12s %12s %14s %14s\n", "figure", "algo",
+              "floods/rnd", "cc/rnd", "slots/rnd", "max_energy_mJ");
+  struct Row {
+    RunningStat floods, ccs, slots, energy;
+  };
+  const auto algorithms = PaperAlgorithms();
+  std::vector<Row> rows(algorithms.size());
+
+  for (int run = 0; run < runs; ++run) {
+    auto scenario = BuildScenario(config, run);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    Network* net = scenario.value().network.get();
+    const TdmaSchedule schedule(net->graph(), net->tree());
+    const double cc_slots =
+        static_cast<double>(schedule.ConvergecastSlots());
+    const double flood_slots = static_cast<double>(schedule.FloodSlots());
+
+    for (size_t i = 0; i < algorithms.size(); ++i) {
+      auto protocol = MakeProtocol(algorithms[i], scenario.value().k,
+                                   scenario.value().source->range_min(),
+                                   scenario.value().source->range_max(),
+                                   config.wire);
+      const SimulationResult result = RunSimulation(
+          scenario.value(), protocol.get(), config.rounds, true);
+      if (result.errors != 0) {
+        std::fprintf(stderr, "exactness violated!\n");
+        return 1;
+      }
+      const double rounds = static_cast<double>(config.rounds + 1);
+      const double floods =
+          static_cast<double>(net->total_floods()) / rounds;
+      const double ccs =
+          static_cast<double>(net->total_convergecasts()) / rounds;
+      rows[i].floods.Add(floods);
+      rows[i].ccs.Add(ccs);
+      rows[i].slots.Add(floods * flood_slots + ccs * cc_slots);
+      rows[i].energy.Add(result.mean_max_round_energy_mj);
+    }
+  }
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    std::printf("%-10s %-9s %12.2f %12.2f %14.1f %14.6f\n", "ext-lat",
+                AlgorithmName(algorithms[i]), rows[i].floods.mean(),
+                rows[i].ccs.mean(), rows[i].slots.mean(),
+                rows[i].energy.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Extension bench: varying the queried quantile phi. §5.2.3 remarks that
+// "noise only slightly affects the median, however if another quantile
+// like k = 1 would be requested, noise could significantly change the
+// resulting value" — here is that experiment: extreme ranks churn far more
+// under noise than the median, and the continuous protocols pay for it.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  base.synthetic.noise_percent = 10;
+  return bench::RunSweep(
+      "ext-phi", "synthetic", "phi",
+      {"0.01", "0.10", "0.25", "0.50", "0.75", "0.90", "0.99"}, base,
+      {AlgorithmKind::kPos, AlgorithmKind::kHbc, AlgorithmKind::kIq,
+       AlgorithmKind::kLcllH, AlgorithmKind::kLcllS},
+      [](const std::string& x, SimulationConfig* config) {
+        config->phi = std::atof(x.c_str());
+      });
+}

@@ -1,0 +1,36 @@
+// Figure 10: maximum per-node energy consumption on the air-pressure
+// dataset (1022 stations, SOM placement) while varying the sampling rate:
+// skipping s samples between rounds weakens the temporal correlation the
+// continuous protocols exploit. Both range settings of §5.2.5 are swept:
+// optimistic (universe anchored at the data's min/max) and pessimistic
+// (universe anchored at earth's record extremes, so the measurements occupy
+// only a narrow band of the integer universe).
+
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  SimulationConfig base;
+  base.dataset = DatasetKind::kPressure;
+  base.pressure.num_stations = 1022;
+  base.radio_range = 35.0;
+  base.rounds = RoundsFromEnv(250);
+
+  int exit_code = 0;
+  for (const char* setting : {"optimistic", "pessimistic"}) {
+    SimulationConfig config = base;
+    config.pressure.range_setting =
+        std::string(setting) == "optimistic"
+            ? PressureTrace::RangeSetting::kOptimistic
+            : PressureTrace::RangeSetting::kPessimistic;
+    exit_code |= bench::RunSweep(
+        "fig10", setting, "skip", {"0", "1", "3", "7", "15"}, config,
+        PaperAlgorithms(), [](const std::string& x, SimulationConfig* cfg) {
+          cfg->pressure.skip = std::atoi(x.c_str());
+        });
+  }
+  return exit_code;
+}

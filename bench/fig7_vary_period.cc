@@ -1,0 +1,17 @@
+// Figure 7: maximum per-node energy consumption and network lifetime on the
+// synthetic dataset while varying the period tau of the sinusoidal trend
+// (Table 2: 250, 125, 63, 32, 8 rounds). Small tau = fast-moving quantile.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "fig7", "synthetic", "period", {"250", "125", "63", "32", "8"}, base,
+      PaperAlgorithms(), [](const std::string& x, SimulationConfig* config) {
+        config->synthetic.period_rounds = std::atof(x.c_str());
+      });
+}

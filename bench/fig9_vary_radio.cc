@@ -1,0 +1,18 @@
+// Figure 9: energy and lifetime on the synthetic dataset while varying the
+// radio range rho (Table 2: 15, 35, 60, 85 m). Larger rho = shallower trees
+// with more children per node (more receptions) and a larger
+// distance-dependent amplifier term per transmitted bit.
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace wsnq;
+  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  return bench::RunSweep(
+      "fig9", "synthetic", "radio_m", {"15", "35", "60", "85"}, base,
+      PaperAlgorithms(), [](const std::string& x, SimulationConfig* config) {
+        config->radio_range = std::atof(x.c_str());
+      });
+}

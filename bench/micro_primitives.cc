@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) of the library's hot primitives:
+// topology construction, oracle selection, histogram aggregation, the
+// Lambert-W evaluator, value-noise sampling, and a full simulated protocol
+// round. These guard against performance regressions in the simulator
+// itself rather than reproducing any paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "algo/hist_codec.h"
+#include "algo/oracle.h"
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/scenario.h"
+#include "data/noise_image.h"
+#include "net/placement.h"
+#include "net/spanning_tree.h"
+#include "util/lambert_w.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+void BM_RadioGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const auto points = UniformPlacement(n, 200.0, 200.0, &rng);
+  for (auto _ : state) {
+    RadioGraph graph(points, 35.0);
+    benchmark::DoNotOptimize(graph.size());
+  }
+}
+BENCHMARK(BM_RadioGraphBuild)->Arg(256)->Arg(1024);
+
+void BM_SpanningTreeBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  auto points = ConnectedPlacement(n, 200.0, 200.0, 35.0, &rng);
+  RadioGraph graph(points.value(), 35.0);
+  for (auto _ : state) {
+    auto tree = BuildShortestPathTree(graph, 0);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+}
+BENCHMARK(BM_SpanningTreeBuild)->Arg(256)->Arg(1024);
+
+void BM_OracleKth(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<int64_t> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.UniformInt(0, 1023));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleKth(values, n / 2));
+  }
+}
+BENCHMARK(BM_OracleKth)->Arg(1024)->Arg(65536);
+
+void BM_HistogramEncode(benchmark::State& state) {
+  SparseHistogram hist(64);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(static_cast<int>(rng.UniformInt(0, 63)));
+  }
+  const WireFormat wire;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.EncodedBits(wire));
+  }
+}
+BENCHMARK(BM_HistogramEncode);
+
+void BM_LambertW(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LambertW0(x));
+    x = x < 1e6 ? x * 1.01 : 0.1;
+  }
+}
+BENCHMARK(BM_LambertW);
+
+void BM_NoiseImageSample(benchmark::State& state) {
+  NoiseImage image(5);
+  double u = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image.Sample(u, 1.0 - u));
+    u += 0.001;
+    if (u >= 1.0) u = 0.0;
+  }
+}
+BENCHMARK(BM_NoiseImageSample);
+
+void BM_FullProtocolRound(benchmark::State& state) {
+  SimulationConfig config;
+  config.num_sensors = 256;
+  config.check_oracle = false;
+  auto scenario = BuildScenario(config, 0);
+  auto protocol =
+      MakeProtocol(AlgorithmKind::kIq, scenario.value().k,
+                   scenario.value().source->range_min(),
+                   scenario.value().source->range_max(), config.wire);
+  Network* net = scenario.value().network.get();
+  int64_t round = 0;
+  net->BeginRound();
+  protocol->RunRound(net, scenario.value().ValuesByVertex(0), round++);
+  for (auto _ : state) {
+    net->BeginRound();
+    protocol->RunRound(net, scenario.value().ValuesByVertex(round % 200),
+                       round);
+    ++round;
+  }
+}
+BENCHMARK(BM_FullProtocolRound);
+
+}  // namespace
+}  // namespace wsnq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+#include "algo/common.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+void ValidationAgg::Merge(const ValidationAgg& other) {
+  into_lt += other.into_lt;
+  outof_lt += other.outof_lt;
+  into_gt += other.into_gt;
+  outof_gt += other.outof_gt;
+  if (other.has_hint) {
+    if (!has_hint) {
+      has_hint = true;
+      min_changed = other.min_changed;
+      max_changed = other.max_changed;
+    } else {
+      min_changed = std::min(min_changed, other.min_changed);
+      max_changed = std::max(max_changed, other.max_changed);
+    }
+  }
+}
+
+void ValidationAgg::AddTransition(Region from, Region to, int64_t value) {
+  if (from == to) return;
+  if (to == Region::kLt) ++into_lt;
+  if (from == Region::kLt) ++outof_lt;
+  if (to == Region::kGt) ++into_gt;
+  if (from == Region::kGt) ++outof_gt;
+  if (!has_hint) {
+    has_hint = true;
+    min_changed = value;
+    max_changed = value;
+  } else {
+    min_changed = std::min(min_changed, value);
+    max_changed = std::max(max_changed, value);
+  }
+}
+
+std::vector<int64_t> CollectKSmallest(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      int64_t k, const WireFormat& wire) {
+  WSNQ_CHECK_GE(k, 1);
+  const SpanningTree& tree = net->tree();
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  WSNQ_CHECK_EQ(values.size(), n);
+
+  // inbox[v]: sorted k-smallest (with k-th ties) multiset of v's subtree.
+  std::vector<std::vector<int64_t>> inbox(n);
+  net->NoteConvergecast();
+  for (int v : tree.post_order) {
+    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) mine.push_back(values[static_cast<size_t>(v)]);
+    for (int child : tree.children[static_cast<size_t>(v)]) {
+      auto& theirs = inbox[static_cast<size_t>(child)];
+      mine.insert(mine.end(), theirs.begin(), theirs.end());
+      theirs.clear();
+      theirs.shrink_to_fit();
+    }
+    std::sort(mine.begin(), mine.end());
+    // Truncate to the k smallest plus all duplicates of the k-th smallest.
+    if (static_cast<int64_t>(mine.size()) > k) {
+      const int64_t cutoff = mine[static_cast<size_t>(k - 1)];
+      size_t keep = static_cast<size_t>(k);
+      while (keep < mine.size() && mine[keep] == cutoff) ++keep;
+      mine.resize(keep);
+    }
+    if (!net->is_root(v)) {
+      net->CountValues(static_cast<int64_t>(mine.size()));
+      if (!net->SendToParent(
+              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
+        mine.clear();  // lost uplink: the parent never sees this subtree
+      }
+    }
+  }
+  return inbox[static_cast<size_t>(net->root())];
+}
+
+std::vector<int64_t> RangeValuesConvergecast(
+    Network* net, const std::vector<int64_t>& values, int64_t lo, int64_t hi,
+    const WireFormat& wire) {
+  const SpanningTree& tree = net->tree();
+  std::vector<std::vector<int64_t>> inbox(
+      static_cast<size_t>(net->num_vertices()));
+  net->NoteConvergecast();
+  for (int v : tree.post_order) {
+    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) {
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (value >= lo && value <= hi) mine.push_back(value);
+    }
+    for (int child : tree.children[static_cast<size_t>(v)]) {
+      auto& theirs = inbox[static_cast<size_t>(child)];
+      mine.insert(mine.end(), theirs.begin(), theirs.end());
+      theirs.clear();
+    }
+    if (!net->is_root(v) && !mine.empty()) {
+      net->CountValues(static_cast<int64_t>(mine.size()));
+      if (!net->SendToParent(
+              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
+        mine.clear();  // lost uplink: the parent never sees this subtree
+      }
+    }
+  }
+  std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int64_t> TopFConvergecast(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      int64_t lo, int64_t hi, int64_t f,
+                                      bool largest, const WireFormat& wire) {
+  WSNQ_CHECK_GE(f, 1);
+  const SpanningTree& tree = net->tree();
+  std::vector<std::vector<int64_t>> inbox(
+      static_cast<size_t>(net->num_vertices()));
+  net->NoteConvergecast();
+  for (int v : tree.post_order) {
+    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) {
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (value >= lo && value <= hi) mine.push_back(value);
+    }
+    for (int child : tree.children[static_cast<size_t>(v)]) {
+      auto& theirs = inbox[static_cast<size_t>(child)];
+      mine.insert(mine.end(), theirs.begin(), theirs.end());
+      theirs.clear();
+    }
+    // Keep the f most extreme values plus duplicates of the f-th extreme.
+    std::sort(mine.begin(), mine.end());
+    if (largest) std::reverse(mine.begin(), mine.end());
+    if (static_cast<int64_t>(mine.size()) > f) {
+      const int64_t cutoff = mine[static_cast<size_t>(f - 1)];
+      size_t keep = static_cast<size_t>(f);
+      while (keep < mine.size() && mine[keep] == cutoff) ++keep;
+      mine.resize(keep);
+    }
+    if (!net->is_root(v) && !mine.empty()) {
+      net->CountValues(static_cast<int64_t>(mine.size()));
+      if (!net->SendToParent(
+              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
+        mine.clear();  // lost uplink: the parent never sees this subtree
+      }
+    }
+  }
+  std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+RootCounts CountsFromCollection(const std::vector<int64_t>& sorted_collection,
+                                int64_t threshold, int64_t population) {
+  RootCounts counts;
+  for (int64_t v : sorted_collection) {
+    if (v < threshold) {
+      ++counts.l;
+    } else if (v == threshold) {
+      ++counts.e;
+    } else {
+      break;
+    }
+  }
+  counts.g = population - counts.l - counts.e;
+  return counts;
+}
+
+}  // namespace wsnq

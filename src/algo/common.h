@@ -1,0 +1,164 @@
+// Shared protocol building blocks: wire sizes, the lt/eq/gt region algebra
+// of POS-style filters, validation counter aggregation, hints, and the
+// TAG-style k-limited collection used for initialization.
+
+#ifndef WSNQ_ALGO_COMMON_H_
+#define WSNQ_ALGO_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algo/protocol.h"
+#include "net/network.h"
+
+namespace wsnq {
+
+/// Field sizes used to compute message payloads (Table 1's s_* symbols).
+struct WireFormat {
+  /// s_v: one measurement [bits] ("two-byte measurements", §5.1.6).
+  int64_t value_bits = 16;
+  /// One movement counter of a validation packet [bits].
+  int64_t counter_bits = 16;
+  /// s_b: one histogram bucket count [bits].
+  int64_t bucket_count_bits = 16;
+  /// Bucket index used by compressed (sparse) histograms [bits].
+  int64_t bucket_index_bits = 8;
+  /// One interval bound in a refinement request [bits].
+  int64_t bound_bits = 16;
+  /// An f_1/f_2-style "number of values requested" field [bits].
+  int64_t fcount_bits = 16;
+};
+
+/// Position of a value relative to a single threshold filter.
+enum class Region { kLt, kEq, kGt };
+
+inline Region ClassifyThreshold(int64_t value, int64_t threshold) {
+  if (value < threshold) return Region::kLt;
+  if (value > threshold) return Region::kGt;
+  return Region::kEq;
+}
+
+/// Aggregated content of a POS validation / refinement packet: the four
+/// movement counters of §3.2 plus the min/max hint over all values that
+/// changed their region.
+struct ValidationAgg {
+  int64_t into_lt = 0;
+  int64_t outof_lt = 0;
+  int64_t into_gt = 0;
+  int64_t outof_gt = 0;
+  bool has_hint = false;
+  int64_t min_changed = 0;
+  int64_t max_changed = 0;
+
+  bool empty() const {
+    return into_lt == 0 && outof_lt == 0 && into_gt == 0 && outof_gt == 0 &&
+           !has_hint;
+  }
+
+  /// Folds a child's aggregate into this one (TAG-style merge).
+  void Merge(const ValidationAgg& other);
+
+  /// Records one node's region transition `from` -> `to` for a value that
+  /// is now `value`.
+  void AddTransition(Region from, Region to, int64_t value);
+};
+
+/// Applies aggregated movement counters to root counts (l and g move by the
+/// counter deltas; e is rederived from the population size).
+inline void ApplyCounters(const ValidationAgg& agg, int64_t population,
+                          RootCounts* counts) {
+  counts->l += agg.into_lt - agg.outof_lt;
+  counts->g += agg.into_gt - agg.outof_gt;
+  counts->e = population - counts->l - counts->g;
+}
+
+/// Whether `counts` certify that the current filter value is the exact k-th
+/// smallest: l < k <= l + e.
+inline bool CountsValid(const RootCounts& counts, int64_t k) {
+  return counts.l < k && counts.l + counts.e >= k;
+}
+
+/// TAG-style k-limited collection (§5.1.6): every node forwards the k
+/// smallest values of its subtree — plus all duplicates of the k-th
+/// smallest, so the root learns the exact multiplicity of every value up to
+/// rank k. Communication is accounted on `net`; returns the root's sorted
+/// multiset (size >= min(k, |N|)).
+std::vector<int64_t> CollectKSmallest(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      int64_t k, const WireFormat& wire);
+
+/// Root counts (l, e, g) of `threshold` given a collection that is complete
+/// up to and including every duplicate of the k-th smallest value.
+RootCounts CountsFromCollection(const std::vector<int64_t>& sorted_collection,
+                                int64_t threshold, int64_t population);
+
+/// Best-effort k-th smallest from a possibly incomplete sorted collection
+/// (message loss, §6): clamps the rank into the collection and falls back
+/// to `fallback` when nothing arrived at all.
+inline int64_t BestEffortKth(const std::vector<int64_t>& sorted, int64_t k,
+                             int64_t fallback) {
+  if (sorted.empty()) return fallback;
+  const int64_t idx =
+      std::clamp<int64_t>(k, 1, static_cast<int64_t>(sorted.size())) - 1;
+  return sorted[static_cast<size_t>(idx)];
+}
+
+/// Collects every measurement inside [lo, hi] (inclusive) at the root
+/// ("request all values in the remaining interval directly", §3.2).
+/// Intermediate nodes concatenate; accounting goes through `net`.
+/// Returns the root's sorted multiset.
+std::vector<int64_t> RangeValuesConvergecast(Network* net,
+                                             const std::vector<int64_t>& values,
+                                             int64_t lo, int64_t hi,
+                                             const WireFormat& wire);
+
+/// IQ-style bounded refinement response (§4.2.2): collects the `f` largest
+/// (or smallest) measurements inside [lo, hi]; intermediate nodes drop
+/// everything beyond the f-th extreme, but forward all duplicates of the
+/// f-th extreme so the root can account for ties. Returns the root's sorted
+/// (ascending) multiset.
+std::vector<int64_t> TopFConvergecast(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      int64_t lo, int64_t hi, int64_t f,
+                                      bool largest, const WireFormat& wire);
+
+/// Runs a POS-style transition convergecast. For every sensor vertex v,
+/// `classify(v)` returns its (from, to) region pair; region changes are
+/// folded into ValidationAgg packets that merge up the tree. A node
+/// transmits iff its merged aggregate is non-empty; the packet payload is
+/// four movement counters plus `hint_values` measurement fields when the
+/// aggregate carries a hint. Returns the root's aggregate.
+template <typename ClassifyFn>
+ValidationAgg TransitionConvergecast(Network* net,
+                                     const std::vector<int64_t>& values,
+                                     const WireFormat& wire, int hint_values,
+                                     ClassifyFn&& classify) {
+  const SpanningTree& tree = net->tree();
+  std::vector<ValidationAgg> inbox(
+      static_cast<size_t>(net->num_vertices()));
+  net->NoteConvergecast();
+  for (int v : tree.post_order) {
+    ValidationAgg& agg = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) {
+      const auto [from, to] = classify(v);
+      agg.AddTransition(from, to, values[static_cast<size_t>(v)]);
+    }
+    for (int child : tree.children[static_cast<size_t>(v)]) {
+      agg.Merge(inbox[static_cast<size_t>(child)]);
+    }
+    if (!net->is_root(v) && !agg.empty()) {
+      const int64_t payload =
+          4 * wire.counter_bits +
+          (agg.has_hint ? hint_values * wire.value_bits : 0);
+      if (!net->SendToParent(v, payload)) {
+        agg = ValidationAgg{};  // lost uplink: subtree report vanishes
+      }
+    }
+  }
+  return inbox[static_cast<size_t>(net->root())];
+}
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_COMMON_H_

@@ -1,0 +1,52 @@
+#include "algo/cost_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/lambert_w.h"
+
+namespace wsnq {
+
+double BExact(const CostModelParams& params) {
+  WSNQ_CHECK_GT(params.bucket_bits, 0);
+  const double k = static_cast<double>(2 * params.header_bits +
+                                       params.refinement_bits) /
+                   static_cast<double>(params.bucket_bits);
+  constexpr double kE = 2.718281828459045;
+  const double b = std::exp(LambertW0(k / kE) + 1.0);
+  return b < 2.0 ? 2.0 : b;
+}
+
+double BArySearchCostBits(const CostModelParams& params, int buckets,
+                          int64_t universe) {
+  WSNQ_CHECK_GE(buckets, 2);
+  WSNQ_CHECK_GE(universe, 2);
+  const double rounds = std::ceil(std::log(static_cast<double>(universe)) /
+                                  std::log(static_cast<double>(buckets)));
+  const double per_round = static_cast<double>(
+      2 * params.header_bits + params.refinement_bits +
+      static_cast<int64_t>(buckets) * params.bucket_bits);
+  return rounds * per_round;
+}
+
+int OptimalBuckets(const CostModelParams& params, int64_t universe,
+                   int max_buckets) {
+  int best_b = 2;
+  double best_cost = BArySearchCostBits(params, 2, universe);
+  for (int b = 3; b <= max_buckets; ++b) {
+    const double cost = BArySearchCostBits(params, b, universe);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+int RoundedBExact(const CostModelParams& params) {
+  const double b = BExact(params);
+  const int rounded = static_cast<int>(std::lround(b));
+  return rounded < 2 ? 2 : rounded;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,50 @@
+// The bucket-count cost model of §4.1 (from the authors' prior snapshot
+// work [21]), which HBC uses to size its refinement histograms.
+//
+// One refinement round costs, at the hotspot,
+//     cost_per_round(b) = 2*s_h + s_r + b*s_b   [bits]
+// (one request broadcast: header + refinement payload; one histogram
+// response: header + b bucket counts), and a b-ary search over a universe of
+// tau values needs log_b(tau) rounds. Minimizing
+//     C(b) = log_b(tau) * cost_per_round(b)
+// over continuous b yields  b * (ln b - 1) = (2*s_h + s_r) / s_b =: K, i.e.
+//     b_exact = exp( W0(K / e) + 1 ),
+// the closed form quoted in §4.1 ("lower bound of the optimal number of
+// buckets ... with W(x) the Lambert W function"). OptimalBuckets() finds the
+// true discrete minimizer of the ceil()-ed cost for comparison
+// (bench/tbl_cost_model reproduces the approximation-quality table).
+
+#ifndef WSNQ_ALGO_COST_MODEL_H_
+#define WSNQ_ALGO_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace wsnq {
+
+/// Message-geometry inputs of the bucket cost model.
+struct CostModelParams {
+  /// s_h: message header/footer [bits].
+  int64_t header_bits = 16 * 8;
+  /// s_r: refinement request payload (interval bounds) [bits].
+  int64_t refinement_bits = 2 * 16;
+  /// s_b: one bucket count [bits].
+  int64_t bucket_bits = 16;
+};
+
+/// Continuous closed-form approximation b_exact (>= 2).
+double BExact(const CostModelParams& params);
+
+/// Per-query cost in bits of a b-ary search over `universe` values.
+double BArySearchCostBits(const CostModelParams& params, int buckets,
+                          int64_t universe);
+
+/// Exact discrete minimizer of BArySearchCostBits over b in [2, max_buckets].
+int OptimalBuckets(const CostModelParams& params, int64_t universe,
+                   int max_buckets = 4096);
+
+/// b_exact rounded to the nearest admissible integer (>= 2); what HBC uses.
+int RoundedBExact(const CostModelParams& params);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_COST_MODEL_H_

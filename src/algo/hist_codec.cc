@@ -1,0 +1,80 @@
+#include "algo/hist_codec.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+BucketLayout::BucketLayout(int64_t lb, int64_t ub, int max_buckets)
+    : lb_(lb), ub_(ub) {
+  WSNQ_CHECK_LT(lb, ub);
+  WSNQ_CHECK_GE(max_buckets, 1);
+  const int64_t span = ub - lb;
+  width_ = (span + max_buckets - 1) / max_buckets;
+  WSNQ_CHECK_GE(width_, 1);
+  num_buckets_ = static_cast<int>((span + width_ - 1) / width_);
+}
+
+int BucketLayout::BucketOf(int64_t value) const {
+  WSNQ_DCHECK(Contains(value));
+  return static_cast<int>((value - lb_) / width_);
+}
+
+int64_t BucketLayout::BucketUb(int i) const {
+  return std::min(ub_, lb_ + (static_cast<int64_t>(i) + 1) * width_);
+}
+
+void SparseHistogram::Merge(const SparseHistogram& other) {
+  WSNQ_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+int SparseHistogram::NonEmpty() const {
+  int n = 0;
+  for (int64_t c : counts_) n += (c != 0);
+  return n;
+}
+
+int64_t SparseHistogram::Total() const {
+  int64_t t = 0;
+  for (int64_t c : counts_) t += c;
+  return t;
+}
+
+int64_t SparseHistogram::EncodedBits(const WireFormat& wire) const {
+  const int64_t dense =
+      static_cast<int64_t>(counts_.size()) * wire.bucket_count_bits;
+  const int64_t sparse = static_cast<int64_t>(NonEmpty()) *
+                         (wire.bucket_count_bits + wire.bucket_index_bits);
+  return std::min(dense, sparse);
+}
+
+SparseHistogram HistogramConvergecast(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      const BucketLayout& layout,
+                                      const WireFormat& wire) {
+  const SpanningTree& tree = net->tree();
+  std::vector<SparseHistogram> inbox(
+      static_cast<size_t>(net->num_vertices()),
+      SparseHistogram(layout.num_buckets()));
+  net->NoteConvergecast();
+  for (int v : tree.post_order) {
+    SparseHistogram& mine = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) {
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (layout.Contains(value)) mine.Add(layout.BucketOf(value));
+    }
+    for (int child : tree.children[static_cast<size_t>(v)]) {
+      mine.Merge(inbox[static_cast<size_t>(child)]);
+    }
+    if (!net->is_root(v) && !mine.empty()) {
+      if (!net->SendToParent(v, mine.EncodedBits(wire))) {
+        mine = SparseHistogram(layout.num_buckets());  // lost uplink
+      }
+    }
+  }
+  return inbox[static_cast<size_t>(net->root())];
+}
+
+}  // namespace wsnq

@@ -1,0 +1,102 @@
+// IQ — Interval-based Quantiles (§4.2, the paper's main contribution).
+//
+// IQ maintains, at every node, the filter v (last quantile) plus an
+// adaptive interval Xi = [v + xi_l, v + xi_r] (xi_l <= 0 <= xi_r) that
+// tracks the quantile's recent movement pattern. During validation each
+// node whose value lies in Xi ships the value itself (multiset A) in
+// addition to the usual POS movement counters. If the new quantile falls
+// inside Xi the root reads it straight out of A — zero refinements. If not,
+// one single refinement fetches exactly the f_1 largest (f_2 smallest)
+// missing values below (above) the window, so a round never needs more than
+// two convergecasts.
+//
+// After every round the window adapts (Eq. 1-2): xi_l/xi_r are the min/max
+// of the last m-1 quantile deltas, clamped to <= 0 / >= 0 — widening toward
+// a downward/upward trend and collapsing on the quiet side. Nodes track the
+// deltas locally from the filter broadcasts (a missing broadcast means
+// delta 0), so no extra dissemination is needed.
+
+#ifndef WSNQ_ALGO_IQ_H_
+#define WSNQ_ALGO_IQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "algo/common.h"
+#include "algo/protocol.h"
+
+namespace wsnq {
+
+/// Interval-based heuristic continuous quantile protocol.
+class IqProtocol : public QuantileProtocol {
+ public:
+  /// How the initial half-width xi of the window is derived from the k
+  /// smallest values collected during initialization (§4.2.1).
+  enum class InitStrategy {
+    /// xi = c * (v_k - v_1) / k — the mean gap scaled by c.
+    kMeanGap,
+    /// xi = c * median of consecutive gaps — robust against outliers.
+    kMedianGap,
+  };
+
+  struct Options {
+    /// History length m of Eq. 1-2: the window spans the last m-1 deltas.
+    int m = 6;
+    InitStrategy init_strategy = InitStrategy::kMeanGap;
+    /// The constant c of §4.2.1 "to tweak the number of values transmitted
+    /// during validation".
+    double init_c = 1.0;
+    /// Bound refinement intervals with the one-value max-distance hint.
+    bool use_hints = true;
+  };
+
+  IqProtocol(int64_t k, int64_t range_min, int64_t range_max,
+             const WireFormat& wire, const Options& options);
+
+  const char* name() const override { return "IQ"; }
+  void RunRound(Network* net, const std::vector<int64_t>& values_by_vertex,
+                int64_t round) override;
+  int64_t quantile() const override { return quantile_; }
+  RootCounts root_counts() const override { return counts_; }
+  int refinements_last_round() const override { return refinements_; }
+
+  int64_t xi_l() const { return xi_l_; }
+  int64_t xi_r() const { return xi_r_; }
+
+  /// Adopts foreign continuous state; `recent_deltas` seeds the window
+  /// history. Used by the adaptive switching protocol (§4.2). The switch
+  /// announcement must also carry the window bounds to the nodes; the
+  /// caller accounts for that broadcast.
+  void AdoptState(int64_t filter, const RootCounts& counts,
+                  std::vector<int64_t> prev_values,
+                  const std::deque<int64_t>& recent_deltas);
+
+ private:
+  void Initialize(Network* net, const std::vector<int64_t>& values);
+  /// Validation convergecast: POS counters + hint + the multiset A of all
+  /// values inside the window (except values equal to the filter).
+  ValidationAgg ValidationWithWindow(Network* net,
+                                     const std::vector<int64_t>& values,
+                                     std::vector<int64_t>* window_values);
+  void PushDelta(int64_t delta);
+
+  int64_t k_;
+  int64_t range_min_;
+  int64_t range_max_;
+  WireFormat wire_;
+  Options options_;
+
+  int64_t quantile_ = 0;
+  int64_t filter_ = 0;
+  int64_t xi_l_ = 0;  // <= 0
+  int64_t xi_r_ = 0;  // >= 0
+  RootCounts counts_;
+  std::vector<int64_t> prev_values_;
+  std::deque<int64_t> deltas_;  // last (m-1) quantile deltas
+  int refinements_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_IQ_H_

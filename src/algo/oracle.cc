@@ -1,0 +1,52 @@
+#include "algo/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+int64_t OracleKth(const std::vector<int64_t>& sensor_values, int64_t k) {
+  WSNQ_CHECK_GE(k, 1);
+  WSNQ_CHECK_LE(k, static_cast<int64_t>(sensor_values.size()));
+  std::vector<int64_t> copy = sensor_values;
+  std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end());
+  return copy[static_cast<size_t>(k - 1)];
+}
+
+RootCounts OracleCounts(const std::vector<int64_t>& sensor_values,
+                        int64_t threshold) {
+  RootCounts counts;
+  for (int64_t v : sensor_values) {
+    if (v < threshold) {
+      ++counts.l;
+    } else if (v == threshold) {
+      ++counts.e;
+    } else {
+      ++counts.g;
+    }
+  }
+  return counts;
+}
+
+int64_t OracleRankError(const std::vector<int64_t>& sensor_values,
+                        int64_t reported, int64_t k) {
+  const RootCounts counts = OracleCounts(sensor_values, reported);
+  if (k <= counts.l) return counts.l + 1 - k;  // reported sits too high
+  if (k > counts.l + counts.e) return k - (counts.l + counts.e);  // too low
+  return 0;
+}
+
+std::vector<int64_t> SensorValues(
+    const Network& net, const std::vector<int64_t>& values_by_vertex) {
+  std::vector<int64_t> sensors;
+  sensors.reserve(static_cast<size_t>(net.num_sensors()));
+  for (int v = 0; v < net.num_vertices(); ++v) {
+    if (!net.is_root(v)) {
+      sensors.push_back(values_by_vertex[static_cast<size_t>(v)]);
+    }
+  }
+  return sensors;
+}
+
+}  // namespace wsnq

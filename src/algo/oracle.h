@@ -1,0 +1,38 @@
+// Centralized ground truth: exact order statistics over a snapshot. Used by
+// the test suite to verify every protocol's answer and bookkeeping, and by
+// protocols' internal assertions in debug builds. Performs no communication.
+
+#ifndef WSNQ_ALGO_ORACLE_H_
+#define WSNQ_ALGO_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/protocol.h"
+#include "net/network.h"
+
+namespace wsnq {
+
+/// Exact k-th smallest (1-based rank) of `sensor_values`.
+/// Precondition: 1 <= k <= sensor_values.size().
+int64_t OracleKth(const std::vector<int64_t>& sensor_values, int64_t k);
+
+/// Exact (l, e, g) of `threshold` over `sensor_values`.
+RootCounts OracleCounts(const std::vector<int64_t>& sensor_values,
+                        int64_t threshold);
+
+/// Rank error of reporting `reported` as the k-th smallest of
+/// `sensor_values`: 0 when some occurrence of `reported` has rank k, else
+/// the distance from k to the nearest rank `reported` could take (§6's
+/// rank-error notion for lossy links).
+int64_t OracleRankError(const std::vector<int64_t>& sensor_values,
+                        int64_t reported, int64_t k);
+
+/// Extracts the sensor measurements (every vertex except the root) from a
+/// per-vertex value vector.
+std::vector<int64_t> SensorValues(const Network& net,
+                                  const std::vector<int64_t>& values_by_vertex);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_ORACLE_H_

@@ -1,0 +1,74 @@
+// POS (Cox et al. [9], reviewed in §3.2): the continuous binary-search
+// baseline. The most recent quantile is the network-wide filter. Every
+// round starts with a validation convergecast of region-movement counters;
+// if the root's (l, e, g) no longer certify the filter, the root binary-
+// searches the refinement interval, broadcasting midpoints and receiving
+// movement counters, until a midpoint is certified.
+//
+// Both improvements described in §3.2 / §5.1.6 are implemented:
+//  * hints — validation packets carry the min and max of all values that
+//    changed their region, which bound the refinement interval far better
+//    than +-infinity;
+//  * direct sends — once the number of candidate values in the refinement
+//    interval fits in a single packet, the root requests them verbatim
+//    (which then requires a final filter broadcast).
+
+#ifndef WSNQ_ALGO_POS_H_
+#define WSNQ_ALGO_POS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/common.h"
+#include "algo/protocol.h"
+
+namespace wsnq {
+
+/// Continuous binary-search quantile protocol.
+class PosProtocol : public QuantileProtocol {
+ public:
+  struct Options {
+    /// Carry (min, max)-of-changed-values hints in validation packets.
+    bool use_hints = true;
+    /// Request candidate values directly when they fit in one packet.
+    bool direct_send = true;
+  };
+
+  /// Continuously tracks the k-th smallest (1-based) value over the integer
+  /// universe [range_min, range_max].
+  PosProtocol(int64_t k, int64_t range_min, int64_t range_max,
+              const WireFormat& wire, const Options& options);
+
+  const char* name() const override { return "POS"; }
+  void RunRound(Network* net, const std::vector<int64_t>& values_by_vertex,
+                int64_t round) override;
+  int64_t quantile() const override { return quantile_; }
+  RootCounts root_counts() const override { return counts_; }
+  int refinements_last_round() const override { return refinements_; }
+
+ private:
+  void Initialize(Network* net, const std::vector<int64_t>& values);
+  void Refine(Network* net, const std::vector<int64_t>& values,
+              const ValidationAgg& validation);
+  /// Requests all values in [lo, hi] directly and finishes the round.
+  void DirectRetrieve(Network* net, const std::vector<int64_t>& values,
+                      int64_t lo, int64_t hi, int64_t below_lo);
+
+  int64_t k_;
+  int64_t range_min_;
+  int64_t range_max_;
+  WireFormat wire_;
+  Options options_;
+
+  int64_t quantile_ = 0;
+  /// The threshold filter every node currently holds (kept consistent by
+  /// the protocol's own broadcasts).
+  int64_t filter_ = 0;
+  RootCounts counts_;
+  std::vector<int64_t> prev_values_;
+  int refinements_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_POS_H_

@@ -1,0 +1,63 @@
+// Single-refinement continuous quantile protocol — the paper's reference
+// [19], reconstructed from §3.1's description: "their continuous solution
+// is similar to POS, however similar to our IQ algorithm the number of
+// refinement iterations is reduced to one. However in contrast to this
+// solution we aim at completely avoiding refinements by employing
+// heuristics [the window Ξ]."
+//
+// Concretely: POS's validation (counters + hints), but when the filter is
+// invalidated the root fetches the exact values it is missing in ONE
+// bounded convergecast — f1 = l-k+1 largest values below the filter, or
+// f2 = k-l-e smallest above it — instead of bisecting. This is IQ without
+// the window, which makes it the ablation baseline that isolates what Ξ
+// buys: POS-SR pays one refinement on every quantile movement, IQ pays
+// validation values to skip it.
+
+#ifndef WSNQ_ALGO_POS_SR_H_
+#define WSNQ_ALGO_POS_SR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/common.h"
+#include "algo/protocol.h"
+
+namespace wsnq {
+
+/// POS validation + one direct value-fetching refinement per movement.
+class PosSrProtocol : public QuantileProtocol {
+ public:
+  struct Options {
+    /// Bound refinement intervals with the one-value max-distance hint.
+    bool use_hints = true;
+  };
+
+  PosSrProtocol(int64_t k, int64_t range_min, int64_t range_max,
+                const WireFormat& wire, const Options& options);
+
+  const char* name() const override { return "POS-SR"; }
+  void RunRound(Network* net, const std::vector<int64_t>& values_by_vertex,
+                int64_t round) override;
+  int64_t quantile() const override { return quantile_; }
+  RootCounts root_counts() const override { return counts_; }
+  int refinements_last_round() const override { return refinements_; }
+
+ private:
+  void Initialize(Network* net, const std::vector<int64_t>& values);
+
+  int64_t k_;
+  int64_t range_min_;
+  int64_t range_max_;
+  WireFormat wire_;
+  Options options_;
+
+  int64_t quantile_ = 0;
+  int64_t filter_ = 0;
+  RootCounts counts_;
+  std::vector<int64_t> prev_values_;
+  int refinements_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_POS_SR_H_

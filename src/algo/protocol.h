@@ -1,0 +1,59 @@
+// The common interface of all continuous quantile protocols.
+//
+// A protocol is driven round by round. Round 0 is the initialization round
+// (§3.2 / §4.2.1): the first quantile is computed with a collection or
+// histogram query and the initial filter state is disseminated. Every later
+// round runs the protocol's validation / refinement machinery. After each
+// round the protocol must report the *exact* k-th smallest measurement —
+// all algorithms in the paper are exact.
+
+#ifndef WSNQ_ALGO_PROTOCOL_H_
+#define WSNQ_ALGO_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace wsnq {
+
+/// The root's bookkeeping (l, e, g) of §3.2: how many measurements are less
+/// than, equal to, and greater than the current quantile value.
+struct RootCounts {
+  int64_t l = 0;
+  int64_t e = 0;
+  int64_t g = 0;
+};
+
+/// One continuous quantile query execution over a fixed network.
+class QuantileProtocol {
+ public:
+  virtual ~QuantileProtocol() = default;
+
+  /// Short identifier used in reports ("POS", "HBC", "IQ", ...).
+  virtual const char* name() const = 0;
+
+  /// Executes round `round` (0, 1, 2, ...) against the current measurements.
+  /// `values_by_vertex` has one entry per network vertex; the root's entry
+  /// is ignored (the root takes no measurements, §2). Rounds must be fed in
+  /// order starting at 0. All communication must go through `net` so energy
+  /// and message accounting stays truthful.
+  virtual void RunRound(Network* net,
+                        const std::vector<int64_t>& values_by_vertex,
+                        int64_t round) = 0;
+
+  /// The exact quantile after the most recent round.
+  virtual int64_t quantile() const = 0;
+
+  /// The root's (l, e, g) state relative to its current filter; used by the
+  /// test suite to verify protocol bookkeeping against the oracle.
+  virtual RootCounts root_counts() const = 0;
+
+  /// Number of refinement convergecasts the protocol ran in the most recent
+  /// round (0 when validation alone settled the quantile).
+  virtual int refinements_last_round() const { return 0; }
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_ALGO_PROTOCOL_H_

@@ -1,0 +1,23 @@
+#include "algo/tag.h"
+
+#include "util/check.h"
+
+namespace wsnq {
+
+void TagProtocol::RunRound(Network* net,
+                           const std::vector<int64_t>& values_by_vertex,
+                           int64_t round) {
+  if (round == 0) {
+    // Query dissemination: broadcast k into the tree once.
+    net->FloodFromRoot(wire_.counter_bits);
+  }
+  const std::vector<int64_t> collected =
+      CollectKSmallest(net, values_by_vertex, k_, wire_);
+  if (!net->lossy()) {
+    WSNQ_CHECK_GE(static_cast<int64_t>(collected.size()), k_);
+  }
+  quantile_ = BestEffortKth(collected, k_, quantile_);
+  counts_ = CountsFromCollection(collected, quantile_, net->num_sensors());
+}
+
+}  // namespace wsnq

@@ -1,0 +1,83 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "util/check.h"
+
+namespace wsnq {
+
+ProtocolFactory DefaultFactory(AlgorithmKind kind) {
+  return ProtocolFactory{
+      AlgorithmName(kind),
+      [kind](int64_t k, int64_t range_min, int64_t range_max,
+             const WireFormat& wire) {
+        return MakeProtocol(kind, k, range_min, range_max, wire);
+      }};
+}
+
+StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+    const SimulationConfig& config,
+    const std::vector<ProtocolFactory>& factories, int runs) {
+  WSNQ_CHECK_GE(runs, 1);
+  std::vector<AlgorithmAggregate> aggregates(factories.size());
+  for (size_t i = 0; i < factories.size(); ++i) {
+    aggregates[i].label = factories[i].label;
+  }
+
+  for (int run = 0; run < runs; ++run) {
+    StatusOr<Scenario> scenario = BuildScenario(config, run);
+    if (!scenario.ok()) return scenario.status();
+    for (size_t i = 0; i < factories.size(); ++i) {
+      std::unique_ptr<QuantileProtocol> protocol = factories[i].make(
+          scenario.value().k, scenario.value().source->range_min(),
+          scenario.value().source->range_max(), config.wire);
+      const SimulationResult result =
+          RunSimulation(scenario.value(), protocol.get(), config.rounds,
+                        config.check_oracle);
+      AlgorithmAggregate& agg = aggregates[i];
+      agg.max_round_energy_mj.Add(result.mean_max_round_energy_mj);
+      agg.lifetime_rounds.Add(result.lifetime_rounds);
+      agg.packets.Add(result.mean_packets);
+      agg.values.Add(result.mean_values);
+      agg.refinements.Add(result.mean_refinements);
+      agg.rank_error.Add(result.mean_rank_error);
+      agg.max_rank_error =
+          std::max(agg.max_rank_error, result.max_rank_error);
+      agg.errors += result.errors;
+      ++agg.runs;
+    }
+  }
+  return aggregates;
+}
+
+StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+    const SimulationConfig& config,
+    const std::vector<AlgorithmKind>& algorithms, int runs) {
+  std::vector<ProtocolFactory> factories;
+  factories.reserve(algorithms.size());
+  for (AlgorithmKind kind : algorithms) {
+    factories.push_back(DefaultFactory(kind));
+  }
+  return RunExperiment(config, factories, runs);
+}
+
+namespace {
+
+int IntFromEnv(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const int parsed = std::atoi(raw);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+int RunsFromEnv(int fallback) { return IntFromEnv("WSNQ_RUNS", fallback); }
+int RoundsFromEnv(int fallback) {
+  return IntFromEnv("WSNQ_ROUNDS", fallback);
+}
+
+}  // namespace wsnq

@@ -1,0 +1,67 @@
+// Multi-run experiments (§5.1.7: "Given a set of input variables, we
+// performed 20 simulation runs with 250 rounds each"): each run draws a
+// fresh topology (synthetic) or root (pressure); every compared algorithm
+// replays the identical scenario; aggregates are means over runs.
+
+#ifndef WSNQ_CORE_EXPERIMENT_H_
+#define WSNQ_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// Cross-run aggregate of one algorithm under one configuration.
+struct AlgorithmAggregate {
+  std::string label;
+  RunningStat max_round_energy_mj;  ///< per-run means of the hotspot draw
+  RunningStat lifetime_rounds;
+  RunningStat packets;
+  RunningStat values;
+  RunningStat refinements;
+  /// Per-run mean rank errors (non-zero only under message loss).
+  RunningStat rank_error;
+  int64_t max_rank_error = 0;
+  int64_t errors = 0;
+  int runs = 0;
+};
+
+/// A labeled protocol constructor; lets ablation benches run protocols with
+/// non-default options through the same experiment machinery.
+struct ProtocolFactory {
+  std::string label;
+  std::function<std::unique_ptr<QuantileProtocol>(
+      int64_t k, int64_t range_min, int64_t range_max, const WireFormat&)>
+      make;
+};
+
+/// Registry-default factory for `kind`.
+ProtocolFactory DefaultFactory(AlgorithmKind kind);
+
+/// Runs `runs` scenarios under `config`, replaying every factory's protocol
+/// over each; returns one aggregate per factory (in input order). Fails
+/// only if scenario construction fails.
+StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+    const SimulationConfig& config,
+    const std::vector<ProtocolFactory>& factories, int runs);
+
+/// Convenience overload over registry algorithms.
+StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+    const SimulationConfig& config,
+    const std::vector<AlgorithmKind>& algorithms, int runs);
+
+/// Environment override helpers for benches: WSNQ_RUNS / WSNQ_ROUNDS.
+int RunsFromEnv(int fallback);
+int RoundsFromEnv(int fallback);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_EXPERIMENT_H_

@@ -1,0 +1,51 @@
+// Per-run metric aggregation for the two headline indicators of §5.1.5 —
+// maximum per-node energy consumption and network lifetime — plus message,
+// value, and refinement counts.
+
+#ifndef WSNQ_CORE_METRICS_H_
+#define WSNQ_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsnq {
+
+/// What one simulated round produced.
+struct RoundRecord {
+  int64_t round = 0;
+  int64_t quantile = 0;
+  /// Hotspot draw this round [mJ] (max over sensor nodes).
+  double max_round_energy_mj = 0.0;
+  int64_t packets = 0;
+  int64_t values = 0;
+  int refinements = 0;
+  bool correct = true;
+  /// How far the reported value's rank band [l+1, l+e] lies from the
+  /// requested rank k (0 when exact; only non-zero under message loss).
+  int64_t rank_error = 0;
+};
+
+/// Aggregates of one (protocol, topology, trace) run.
+struct SimulationResult {
+  /// Mean over rounds of the per-round hotspot energy [mJ] (§5.1.5).
+  double mean_max_round_energy_mj = 0.0;
+  /// Rounds until the first sensor exhausts its supply, extrapolated as
+  /// initial_energy / (hotspot mean per-round draw).
+  double lifetime_rounds = 0.0;
+  double mean_packets = 0.0;
+  double mean_values = 0.0;
+  double mean_refinements = 0.0;
+  /// Rounds whose answer disagreed with the oracle (must be 0 unless
+  /// message loss is enabled).
+  int64_t errors = 0;
+  /// Mean / max rank error over rounds (§6: "restrict the rank error").
+  double mean_rank_error = 0.0;
+  int64_t max_rank_error = 0;
+  int64_t rounds = 0;
+  /// Per-round trail; filled only when requested.
+  std::vector<RoundRecord> trail;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_METRICS_H_

@@ -1,0 +1,29 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "algo/registry.h"
+
+namespace wsnq {
+
+void PrintReportHeader() {
+  std::printf(
+      "%-10s %-10s %-12s %-10s %-9s %14s %16s %10s %10s %12s %7s\n",
+      "figure", "dataset", "x_name", "x_value", "algo", "max_energy_mJ",
+      "lifetime_rounds", "packets", "values", "refinements", "errors");
+}
+
+void PrintReportRow(const std::string& figure, const std::string& dataset,
+                    const std::string& x_name, const std::string& x_value,
+                    const AlgorithmAggregate& aggregate) {
+  std::printf(
+      "%-10s %-10s %-12s %-10s %-9s %14.6f %16.1f %10.1f %10.1f %12.2f "
+      "%7lld\n",
+      figure.c_str(), dataset.c_str(), x_name.c_str(), x_value.c_str(),
+      aggregate.label.c_str(), aggregate.max_round_energy_mj.mean(),
+      aggregate.lifetime_rounds.mean(), aggregate.packets.mean(),
+      aggregate.values.mean(), aggregate.refinements.mean(),
+      static_cast<long long>(aggregate.errors));
+}
+
+}  // namespace wsnq

@@ -1,0 +1,26 @@
+// Uniform tabular output for all benches: one header, one row per
+// (x-value, algorithm), mirroring the series of the paper's figures.
+
+#ifndef WSNQ_CORE_REPORT_H_
+#define WSNQ_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace wsnq {
+
+/// Prints the standard column header to stdout.
+/// Columns: figure | dataset | x_name | x_value | algorithm |
+///          max_energy_mJ | lifetime_rounds | packets | values |
+///          refinements | errors.
+void PrintReportHeader();
+
+/// Prints one aggregate row.
+void PrintReportRow(const std::string& figure, const std::string& dataset,
+                    const std::string& x_name, const std::string& x_value,
+                    const AlgorithmAggregate& aggregate);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_REPORT_H_

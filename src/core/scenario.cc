@@ -1,0 +1,163 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/pressure_trace.h"
+#include "data/range_scaler.h"
+#include "data/som.h"
+#include "data/synthetic_trace.h"
+#include "net/placement.h"
+#include "net/radio_graph.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wsnq {
+
+std::vector<int64_t> Scenario::ValuesByVertex(int64_t round) const {
+  std::vector<int64_t> values(sensor_of_vertex.size(), 0);
+  for (size_t v = 0; v < sensor_of_vertex.size(); ++v) {
+    if (sensor_of_vertex[v] >= 0) {
+      values[v] = source->Value(sensor_of_vertex[v], round);
+    }
+  }
+  return values;
+}
+
+namespace {
+
+StatusOr<Scenario> BuildSynthetic(const SimulationConfig& config, int run) {
+  Rng rng(config.seed * 7919 + static_cast<uint64_t>(run) * 104729 + 13);
+  // |N| sensors plus the root vertex.
+  StatusOr<std::vector<Point2D>> placement = ConnectedPlacement(
+      config.num_sensors + 1, config.area_width, config.area_height,
+      config.radio_range, &rng);
+  if (!placement.ok()) return placement.status();
+
+  const int root = static_cast<int>(rng.UniformInt(0, config.num_sensors));
+  // Multi-value nodes (§2): replicate each sensor position so every extra
+  // measurement lives on an "artificial child node" colocated with (and
+  // therefore radio-adjacent to) its physical host.
+  WSNQ_CHECK_GE(config.values_per_node, 1);
+  std::vector<Point2D> points;
+  points.reserve(placement.value().size() *
+                 static_cast<size_t>(config.values_per_node));
+  std::vector<int> expanded_root_index;
+  for (size_t v = 0; v < placement.value().size(); ++v) {
+    const int copies =
+        static_cast<int>(v) == root ? 1 : config.values_per_node;
+    for (int c = 0; c < copies; ++c) {
+      if (static_cast<int>(v) == root) {
+        expanded_root_index.push_back(static_cast<int>(points.size()));
+      }
+      points.push_back(placement.value()[v]);
+    }
+  }
+  const int expanded_root = expanded_root_index.front();
+
+  Scenario scenario;
+  RadioGraph radio(points, config.radio_range);
+  StatusOr<SpanningTree> routing = BuildRoutingTree(
+      radio, expanded_root, config.tree_strategy,
+      config.seed * 53 + static_cast<uint64_t>(run));
+  if (!routing.ok()) return routing.status();
+  scenario.network = std::make_unique<Network>(
+      std::move(radio), std::move(routing).value(), config.energy,
+      config.packetizer);
+
+  // Sensor positions (normalized) feed the spatial correlation.
+  std::vector<Point2D> normalized;
+  scenario.sensor_of_vertex.assign(points.size(), -1);
+  for (size_t v = 0; v < points.size(); ++v) {
+    if (static_cast<int>(v) == expanded_root) continue;
+    scenario.sensor_of_vertex[v] = static_cast<int>(normalized.size());
+    normalized.push_back({points[v].x / config.area_width,
+                          points[v].y / config.area_height});
+  }
+
+  SyntheticTrace::Options options = config.synthetic;
+  options.seed = config.seed * 31 + static_cast<uint64_t>(run) + 1;
+  scenario.owned_sources.push_back(
+      std::make_unique<SyntheticTrace>(std::move(normalized), options));
+  scenario.source = scenario.owned_sources.back().get();
+
+  const int64_t n = scenario.network->num_sensors();
+  scenario.k = std::clamp<int64_t>(
+      static_cast<int64_t>(config.phi * static_cast<double>(n)), 1, n);
+  return scenario;
+}
+
+StatusOr<Scenario> BuildPressure(const SimulationConfig& config, int run) {
+  PressureTrace::Options options = config.pressure;
+  options.seed = config.seed;  // the trace is fixed across runs (§5.1)
+  if (options.rounds < config.rounds + 2) options.rounds = config.rounds + 2;
+  auto trace = std::make_unique<PressureTrace>(options);
+
+  // SOM placement from the first measurements (§5.1.3).
+  const std::vector<double> features = trace->FirstMeasurements();
+  SelfOrganizingMap::Options som_options;
+  som_options.seed = config.seed * 131 + 7;
+  SelfOrganizingMap som(features, som_options);
+  const std::vector<Point2D> points =
+      som.PlaceStations(features, config.area_width, config.area_height);
+
+  RadioGraph graph(points, config.radio_range);
+  if (!graph.IsConnected()) {
+    return Status::FailedPrecondition(
+        "SOM station placement is disconnected at this radio range");
+  }
+
+  // Only the root changes between runs.
+  Rng rng(config.seed * 524287 + static_cast<uint64_t>(run) * 8191 + 3);
+  const int root = static_cast<int>(
+      rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1));
+
+  Scenario scenario;
+  StatusOr<SpanningTree> routing = BuildRoutingTree(
+      graph, root, config.tree_strategy,
+      config.seed * 53 + static_cast<uint64_t>(run));
+  if (!routing.ok()) return routing.status();
+  scenario.network = std::make_unique<Network>(
+      std::move(graph), std::move(routing).value(), config.energy,
+      config.packetizer);
+
+  scenario.sensor_of_vertex.assign(points.size(), -1);
+  for (size_t v = 0; v < points.size(); ++v) {
+    if (static_cast<int>(v) == root) continue;
+    scenario.sensor_of_vertex[v] = static_cast<int>(v);  // station index
+  }
+
+  auto scaled = std::make_unique<ScaledValueSource>(
+      trace.get(), config.pressure_scale_bits);
+  scenario.owned_sources.push_back(std::move(trace));
+  scenario.owned_sources.push_back(std::move(scaled));
+  scenario.source = scenario.owned_sources.back().get();
+
+  const int64_t n = scenario.network->num_sensors();
+  scenario.k = std::clamp<int64_t>(
+      static_cast<int64_t>(config.phi * static_cast<double>(n)), 1, n);
+  return scenario;
+}
+
+}  // namespace
+
+StatusOr<Scenario> BuildScenario(const SimulationConfig& config, int run) {
+  WSNQ_CHECK_GE(config.num_sensors, 1);
+  StatusOr<Scenario> scenario = Status::InvalidArgument("unknown dataset");
+  switch (config.dataset) {
+    case DatasetKind::kSynthetic:
+      scenario = BuildSynthetic(config, run);
+      break;
+    case DatasetKind::kPressure:
+      scenario = BuildPressure(config, run);
+      break;
+  }
+  if (scenario.ok() && config.uplink_loss > 0.0) {
+    scenario.value().network->EnableUplinkLoss(
+        config.uplink_loss,
+        config.seed * 2654435761 + static_cast<uint64_t>(run) * 97 + 11);
+  }
+  return scenario;
+}
+
+}  // namespace wsnq

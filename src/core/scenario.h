@@ -1,0 +1,47 @@
+// Scenario construction: turns a SimulationConfig plus a run index into a
+// concrete (network, value source, vertex->sensor mapping) triple, exactly
+// the way §5.1 describes:
+//
+//  * synthetic runs re-draw node positions and the measurement field per
+//    run; the root is one of the placed vertices;
+//  * pressure runs keep the (SOM-derived) station positions fixed and only
+//    re-select the root vertex per run ("on real world data sets the
+//    topology was only changed by selecting another root node").
+
+#ifndef WSNQ_CORE_SCENARIO_H_
+#define WSNQ_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "data/value_source.h"
+#include "net/network.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// A fully instantiated simulation scenario for one run.
+struct Scenario {
+  std::unique_ptr<Network> network;
+  /// Owns the measurement generator chain (base source + optional scaler).
+  std::vector<std::unique_ptr<ValueSource>> owned_sources;
+  /// The source protocols read from (last element of the chain).
+  const ValueSource* source = nullptr;
+  /// sensor_of_vertex[v]: index into the source; -1 for the root.
+  std::vector<int> sensor_of_vertex;
+  /// Rank queried: max(1, floor(phi * |N|)).
+  int64_t k = 0;
+
+  /// Measurements of round `round`, indexed by network vertex (the root's
+  /// entry is 0 and unused).
+  std::vector<int64_t> ValuesByVertex(int64_t round) const;
+};
+
+/// Builds the scenario of run `run` under `config`.
+StatusOr<Scenario> BuildScenario(const SimulationConfig& config, int run);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_SCENARIO_H_

@@ -1,0 +1,76 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "algo/oracle.h"
+#include "util/check.h"
+
+namespace wsnq {
+
+SimulationResult RunSimulation(const Scenario& scenario,
+                               QuantileProtocol* protocol, int rounds,
+                               bool check_oracle, bool keep_trail) {
+  Network* net = scenario.network.get();
+  net->ResetAccounting();
+
+  SimulationResult result;
+  double energy_sum = 0.0;
+  double rank_error_sum = 0.0;
+  double packets_sum = 0.0;
+  double values_sum = 0.0;
+  double refinements_sum = 0.0;
+
+  const int total_rounds = rounds + 1;  // round 0 is initialization
+  for (int64_t round = 0; round < total_rounds; ++round) {
+    net->BeginRound();
+    const std::vector<int64_t> values = scenario.ValuesByVertex(round);
+    protocol->RunRound(net, values, round);
+
+    RoundRecord record;
+    record.round = round;
+    record.quantile = protocol->quantile();
+    record.max_round_energy_mj = net->MaxRoundEnergyOverSensors();
+    record.packets = net->round_packets();
+    record.values = net->round_values();
+    record.refinements = protocol->refinements_last_round();
+    if (check_oracle) {
+      const std::vector<int64_t> sensors = SensorValues(*net, values);
+      record.correct =
+          protocol->quantile() == OracleKth(sensors, scenario.k);
+      if (!record.correct) ++result.errors;
+      record.rank_error =
+          OracleRankError(sensors, protocol->quantile(), scenario.k);
+      rank_error_sum += static_cast<double>(record.rank_error);
+      result.max_rank_error =
+          std::max(result.max_rank_error, record.rank_error);
+    }
+    energy_sum += record.max_round_energy_mj;
+    packets_sum += static_cast<double>(record.packets);
+    values_sum += static_cast<double>(record.values);
+    refinements_sum += record.refinements;
+    if (keep_trail) result.trail.push_back(record);
+  }
+
+  result.rounds = total_rounds;
+  result.mean_max_round_energy_mj = energy_sum / total_rounds;
+  result.mean_packets = packets_sum / total_rounds;
+  result.mean_values = values_sum / total_rounds;
+  result.mean_refinements = refinements_sum / total_rounds;
+  result.mean_rank_error = rank_error_sum / total_rounds;
+
+  // Lifetime: the hotspot's mean per-round draw exhausts the 30 mJ budget
+  // after initial_energy / draw rounds.
+  double hotspot_mean = 0.0;
+  for (int v = 0; v < net->num_vertices(); ++v) {
+    if (net->is_root(v)) continue;
+    hotspot_mean =
+        std::max(hotspot_mean, net->total_energy(v) / total_rounds);
+  }
+  result.lifetime_rounds =
+      hotspot_mean > 0.0
+          ? net->energy_model().initial_energy_mj / hotspot_mean
+          : 0.0;
+  return result;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,26 @@
+// The round-driven simulation loop: feeds measurements to a protocol round
+// by round, accounts communication through the scenario's Network, verifies
+// exactness against the centralized oracle, and aggregates §5.1.5's
+// metrics.
+
+#ifndef WSNQ_CORE_SIMULATION_H_
+#define WSNQ_CORE_SIMULATION_H_
+
+#include "algo/protocol.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+
+namespace wsnq {
+
+/// Runs `protocol` for `rounds` update rounds (plus the initialization
+/// round 0) over `scenario`. Resets the network accounting first, so
+/// several protocols can be replayed over one scenario. Set `keep_trail`
+/// to retain per-round records (Fig. 4-style traces).
+SimulationResult RunSimulation(const Scenario& scenario,
+                               QuantileProtocol* protocol, int rounds,
+                               bool check_oracle, bool keep_trail = false);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_SIMULATION_H_

@@ -1,0 +1,69 @@
+#include "data/noise_image.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace {
+
+// Stateless 64-bit mix (SplitMix64 finalizer) for lattice hashing.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+NoiseImage::NoiseImage(uint64_t seed, const Options& options)
+    : seed_(seed), options_(options) {
+  WSNQ_CHECK_GE(options_.base_frequency, 1);
+  WSNQ_CHECK_GE(options_.octaves, 1);
+  // Sum of octave amplitudes 1 + 1/2 + 1/4 + ...
+  double sum = 0.0;
+  double amp = 1.0;
+  for (int i = 0; i < options_.octaves; ++i, amp *= 0.5) sum += amp;
+  amplitude_norm_ = 1.0 / sum;
+}
+
+double NoiseImage::Lattice(int octave, int x, int y) const {
+  const uint64_t h = Mix(seed_ ^ (static_cast<uint64_t>(octave) << 48) ^
+                         (static_cast<uint64_t>(static_cast<uint32_t>(x))
+                          << 20) ^
+                         static_cast<uint64_t>(static_cast<uint32_t>(y)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+double NoiseImage::Octave(int octave, double u, double v) const {
+  const int freq = options_.base_frequency << octave;
+  const double fu = u * freq;
+  const double fv = v * freq;
+  int x0 = static_cast<int>(std::floor(fu));
+  int y0 = static_cast<int>(std::floor(fv));
+  const double tu = Smoothstep(fu - x0);
+  const double tv = Smoothstep(fv - y0);
+  const double c00 = Lattice(octave, x0, y0);
+  const double c10 = Lattice(octave, x0 + 1, y0);
+  const double c01 = Lattice(octave, x0, y0 + 1);
+  const double c11 = Lattice(octave, x0 + 1, y0 + 1);
+  const double top = c00 + (c10 - c00) * tu;
+  const double bottom = c01 + (c11 - c01) * tu;
+  return top + (bottom - top) * tv;
+}
+
+double NoiseImage::Sample(double u, double v) const {
+  double value = 0.0;
+  double amp = 1.0;
+  for (int o = 0; o < options_.octaves; ++o, amp *= 0.5) {
+    value += amp * Octave(o, u, v);
+  }
+  value *= amplitude_norm_;
+  if (value >= 1.0) value = 0x1.fffffffffffffp-1;
+  if (value < 0.0) value = 0.0;
+  return value;
+}
+
+}  // namespace wsnq

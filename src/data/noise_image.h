@@ -1,0 +1,51 @@
+// Procedural "interpolated noise" image (§5.1.2): the paper initializes the
+// synthetic dataset from an image of interpolated noise so that spatially
+// close nodes get similar values. We generate the image itself — value noise:
+// a coarse lattice of random grey levels, bilinearly interpolated, summed
+// over a few octaves — and quantize to 256 grey levels like the paper's
+// image file.
+
+#ifndef WSNQ_DATA_NOISE_IMAGE_H_
+#define WSNQ_DATA_NOISE_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsnq {
+
+/// Immutable grey-scale field over the unit square.
+class NoiseImage {
+ public:
+  /// Parameters of the value-noise synthesis.
+  struct Options {
+    /// Lattice resolution of the coarsest octave (cells per side).
+    int base_frequency = 4;
+    /// Number of octaves summed (each doubles frequency, halves amplitude).
+    int octaves = 3;
+  };
+
+  NoiseImage(uint64_t seed, const Options& options);
+  explicit NoiseImage(uint64_t seed) : NoiseImage(seed, Options{}) {}
+
+  /// Continuous sample at (u, v) in [0,1]^2, result in [0,1).
+  double Sample(double u, double v) const;
+
+  /// Sample quantized to 256 grey levels (0..255), like the image file the
+  /// paper used.
+  int Grey(double u, double v) const {
+    const int g = static_cast<int>(Sample(u, v) * 256.0);
+    return g > 255 ? 255 : g;
+  }
+
+ private:
+  double Octave(int octave, double u, double v) const;
+  double Lattice(int octave, int x, int y) const;
+
+  uint64_t seed_;
+  Options options_;
+  double amplitude_norm_;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_NOISE_IMAGE_H_

@@ -1,0 +1,122 @@
+#include "data/pressure_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// One step of an OU process x' = x + (mu - x) * dt/tau + sigma_step * N(0,1)
+// discretized with dt = 1 sample; sigma_step is chosen so the stationary
+// stddev equals `sigma`.
+class OuProcess {
+ public:
+  OuProcess(double mean, double sigma, double tau)
+      : mean_(mean),
+        theta_(1.0 / tau),
+        step_sigma_(sigma * std::sqrt(2.0 / tau)),
+        x_(mean) {}
+
+  double Step(Rng* rng) {
+    x_ += theta_ * (mean_ - x_) + step_sigma_ * rng->Gaussian();
+    return x_;
+  }
+
+  void set_state(double x) { x_ = x; }
+
+ private:
+  double mean_;
+  double theta_;
+  double step_sigma_;
+  double x_;
+};
+
+}  // namespace
+
+PressureTrace::PressureTrace(const Options& options) : options_(options) {
+  WSNQ_CHECK_GT(options_.num_stations, 0);
+  WSNQ_CHECK_GE(options_.skip, 0);
+  num_samples_ = (options_.rounds + 1) * (options_.skip + 1) + 1;
+
+  Rng rng(options_.seed);
+
+  // Regional field, shared by all stations: pressure integrates an OU
+  // trend (smooth per-sample movement, synoptic-scale swings).
+  OuProcess trend(0.0, options_.trend_sigma, options_.trend_tau_samples);
+  trend.set_state(options_.trend_sigma * rng.Gaussian());
+  double regional = options_.mean_pressure +
+                    4.0 * options_.trend_sigma *
+                        std::sqrt(options_.trend_tau_samples) *
+                        rng.Gaussian();
+  std::vector<double> regional_series(static_cast<size_t>(num_samples_));
+  for (auto& r : regional_series) {
+    regional += trend.Step(&rng) +
+                (options_.mean_pressure - regional) /
+                    options_.pressure_tau_samples;
+    r = regional;
+  }
+
+  // Static station offsets and diurnal phases.
+  const size_t stations = static_cast<size_t>(options_.num_stations);
+  std::vector<double> offset(stations);
+  std::vector<double> phase(stations);
+  for (size_t i = 0; i < stations; ++i) {
+    offset[i] = options_.station_offset_sigma * rng.Gaussian();
+    phase[i] = rng.UniformDouble(0.0, kTwoPi);
+  }
+
+  // Station-local weather.
+  std::vector<OuProcess> local(
+      stations, OuProcess(0.0, options_.station_sigma,
+                          options_.station_tau_samples));
+  for (auto& p : local) p.set_state(options_.station_sigma * rng.Gaussian());
+
+  values_.resize(static_cast<size_t>(num_samples_) * stations);
+  for (int64_t s = 0; s < num_samples_; ++s) {
+    const double diurnal_arg =
+        kTwoPi * 2.0 * static_cast<double>(s) / options_.samples_per_day;
+    for (size_t i = 0; i < stations; ++i) {
+      const double hpa = regional_series[static_cast<size_t>(s)] + offset[i] +
+                         local[i].Step(&rng) +
+                         options_.diurnal_amplitude *
+                             std::sin(diurnal_arg + phase[i]);
+      values_[static_cast<size_t>(s) * stations + i] =
+          static_cast<int64_t>(std::llround(hpa * 10.0));  // 0.1 hPa units
+    }
+  }
+
+  if (options_.range_setting == RangeSetting::kPessimistic) {
+    range_min_ = 8560;   // 856.0 hPa
+    range_max_ = 10860;  // 1086.0 hPa
+    for (auto& v : values_) v = std::clamp(v, range_min_, range_max_);
+  } else {
+    range_min_ = *std::min_element(values_.begin(), values_.end());
+    range_max_ = *std::max_element(values_.begin(), values_.end());
+  }
+}
+
+int64_t PressureTrace::Value(int sensor, int64_t round) const {
+  WSNQ_CHECK_GE(sensor, 0);
+  WSNQ_CHECK_LT(sensor, options_.num_stations);
+  const int64_t sample = round * (options_.skip + 1);
+  WSNQ_CHECK_LT(sample, num_samples_);
+  return values_[static_cast<size_t>(sample) *
+                     static_cast<size_t>(options_.num_stations) +
+                 static_cast<size_t>(sensor)];
+}
+
+std::vector<double> PressureTrace::FirstMeasurements() const {
+  std::vector<double> first(static_cast<size_t>(options_.num_stations));
+  for (int i = 0; i < options_.num_stations; ++i) {
+    first[static_cast<size_t>(i)] =
+        static_cast<double>(Value(i, 0)) / 10.0;
+  }
+  return first;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,88 @@
+// Synthetic stand-in for the "Live from Earth and Mars" air-pressure traces
+// (§5.1.3). The real dataset (1022 stations of barometric pressure) is not
+// redistributable; we generate traces with the two statistical properties
+// the evaluation depends on:
+//
+//  * strong temporal correlation — a slow regional pressure system modelled
+//    as an Ornstein-Uhlenbeck (OU) process plus a diurnal harmonic;
+//  * cross-station correlation — all stations share the regional field and
+//    differ by a static offset plus a small station-local OU term,
+//    so stations with similar offsets measure similar values (which is what
+//    the paper's SOM placement exploits).
+//
+// Measurements are integers in units of 0.1 hPa. Like the paper (§5.2.5),
+// the universe can be scaled optimistically (exactly the generated min/max)
+// or pessimistically (earth's record extremes, 856..1086 hPa), and an
+// arbitrary number of samples can be skipped between rounds to weaken the
+// temporal correlation (Fig. 10's x-axis).
+
+#ifndef WSNQ_DATA_PRESSURE_TRACE_H_
+#define WSNQ_DATA_PRESSURE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/value_source.h"
+
+namespace wsnq {
+
+/// Multi-station barometric pressure trace generator.
+class PressureTrace : public ValueSource {
+ public:
+  /// Range policy of §5.2.5.
+  enum class RangeSetting {
+    /// r_min/r_max are the min/max of the generated data.
+    kOptimistic,
+    /// r_min/r_max are earth's record extremes: 856.0 .. 1086.0 hPa.
+    kPessimistic,
+  };
+
+  struct Options {
+    int num_stations = 1022;
+    /// Number of query rounds the trace must cover (round indices 0..rounds).
+    int64_t rounds = 260;
+    /// Samples skipped between consecutive rounds; round t reads underlying
+    /// sample t * (skip + 1).
+    int skip = 0;
+    RangeSetting range_setting = RangeSetting::kOptimistic;
+    uint64_t seed = 1;
+
+    // Physical parameters (hPa; sample period ~ 15 simulated minutes).
+    // The regional field is a *smoothed* random process (an OU trend that
+    // the pressure integrates): per-sample changes stay around
+    // trend_sigma, like real barograph traces, while multi-day swings
+    // reach +-10 hPa or more.
+    double mean_pressure = 1013.25;
+    double trend_sigma = 0.06;           ///< hPa change per 15-min sample
+    double trend_tau_samples = 192;      ///< trend persistence (~2 days)
+    double pressure_tau_samples = 3000;  ///< mean reversion of the field
+    double station_offset_sigma = 4.0;   ///< static per-station bias
+    double station_sigma = 0.25;         ///< local smooth-noise stddev
+    double station_tau_samples = 120;    ///< local noise persistence
+    double diurnal_amplitude = 0.8;      ///< semidiurnal tide amplitude
+    double samples_per_day = 96;         ///< 15-minute sampling
+  };
+
+  explicit PressureTrace(const Options& options);
+
+  int64_t Value(int sensor, int64_t round) const override;
+  int num_sensors() const override { return options_.num_stations; }
+  int64_t range_min() const override { return range_min_; }
+  int64_t range_max() const override { return range_max_; }
+
+  /// First-round measurement of every station — the 1-D SOM feature vector
+  /// the paper uses to lay stations out (§5.1.3).
+  std::vector<double> FirstMeasurements() const;
+
+ private:
+  Options options_;
+  int64_t range_min_ = 0;
+  int64_t range_max_ = 0;
+  /// values_[sample * num_stations + station], in 0.1 hPa.
+  std::vector<int64_t> values_;
+  int64_t num_samples_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_PRESSURE_TRACE_H_

@@ -1,0 +1,23 @@
+#include "data/range_scaler.h"
+
+#include "util/check.h"
+
+namespace wsnq {
+
+ScaledValueSource::ScaledValueSource(const ValueSource* source, int bits)
+    : source_(source) {
+  WSNQ_CHECK_GE(bits, 1);
+  WSNQ_CHECK_LE(bits, 32);
+  out_max_ = (int64_t{1} << bits) - 1;
+  in_min_ = source->range_min();
+  in_span_ = source->range_max() - source->range_min();
+  WSNQ_CHECK_GE(in_span_, 1);
+}
+
+int64_t ScaledValueSource::Scale(int64_t raw) const {
+  WSNQ_DCHECK(raw >= in_min_ && raw <= in_min_ + in_span_);
+  // Rounded affine map; monotone because in_span fits comfortably in 64 bits.
+  return (2 * (raw - in_min_) * out_max_ + in_span_) / (2 * in_span_);
+}
+
+}  // namespace wsnq

@@ -1,0 +1,120 @@
+#include "data/som.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wsnq {
+
+SelfOrganizingMap::SelfOrganizingMap(const std::vector<double>& features,
+                                     const Options& options)
+    : seed_(options.seed) {
+  WSNQ_CHECK(!features.empty());
+  grid_side_ =
+      options.grid_side > 0
+          ? options.grid_side
+          : static_cast<int>(std::ceil(std::sqrt(
+                static_cast<double>(features.size()))));
+  const size_t units =
+      static_cast<size_t>(grid_side_) * static_cast<size_t>(grid_side_);
+
+  const auto [min_it, max_it] =
+      std::minmax_element(features.begin(), features.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+
+  Rng rng(options.seed);
+  // Initialize weights as a smooth diagonal gradient across the grid plus a
+  // little noise: a topologically ordered start that converges quickly.
+  weights_.resize(units);
+  for (int y = 0; y < grid_side_; ++y) {
+    for (int x = 0; x < grid_side_; ++x) {
+      const double t = (static_cast<double>(x + y)) /
+                       std::max(1.0, 2.0 * (grid_side_ - 1));
+      weights_[static_cast<size_t>(y * grid_side_ + x)] =
+          lo + t * (hi - lo) + rng.Gaussian() * 0.01 * (hi - lo + 1e-12);
+    }
+  }
+
+  std::vector<size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const double initial_radius =
+      options.initial_radius_fraction * grid_side_;
+  const int total_steps =
+      options.epochs * static_cast<int>(features.size());
+  int step = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher–Yates shuffle with our deterministic RNG.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    for (size_t idx : order) {
+      const double progress =
+          static_cast<double>(step) / std::max(1, total_steps - 1);
+      const double lr = options.initial_learning_rate *
+                        std::pow(options.final_learning_rate /
+                                     options.initial_learning_rate,
+                                 progress);
+      const double radius =
+          initial_radius *
+          std::pow(options.final_radius / std::max(1e-9, initial_radius),
+                   progress);
+      const double feature = features[idx];
+      const int bmu = BestMatchingUnit(feature);
+      const int bx = bmu % grid_side_;
+      const int by = bmu / grid_side_;
+      const int reach = std::max(1, static_cast<int>(std::ceil(2.0 * radius)));
+      for (int y = std::max(0, by - reach);
+           y <= std::min(grid_side_ - 1, by + reach); ++y) {
+        for (int x = std::max(0, bx - reach);
+             x <= std::min(grid_side_ - 1, bx + reach); ++x) {
+          const double d2 = static_cast<double>((x - bx) * (x - bx) +
+                                                (y - by) * (y - by));
+          const double h = std::exp(-d2 / (2.0 * radius * radius));
+          double& w = weights_[static_cast<size_t>(y * grid_side_ + x)];
+          w += lr * h * (feature - w);
+        }
+      }
+      ++step;
+    }
+  }
+}
+
+int SelfOrganizingMap::BestMatchingUnit(double feature) const {
+  int best = 0;
+  double best_d = std::fabs(weights_[0] - feature);
+  for (size_t u = 1; u < weights_.size(); ++u) {
+    const double d = std::fabs(weights_[u] - feature);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(u);
+    }
+  }
+  return best;
+}
+
+std::vector<Point2D> SelfOrganizingMap::PlaceStations(
+    const std::vector<double>& features, double width, double height) const {
+  Rng rng(seed_ ^ 0x5151515151515151ULL);
+  const double cell_w = width / grid_side_;
+  const double cell_h = height / grid_side_;
+  std::vector<Point2D> positions;
+  positions.reserve(features.size());
+  for (double f : features) {
+    const int bmu = BestMatchingUnit(f);
+    const int x = bmu % grid_side_;
+    const int y = bmu / grid_side_;
+    positions.push_back(
+        {(x + rng.UniformDouble(0.05, 0.95)) * cell_w,
+         (y + rng.UniformDouble(0.05, 0.95)) * cell_h});
+  }
+  return positions;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,57 @@
+// Self-organizing map placement (§5.1.3): the pressure dataset carries no
+// coordinates, so — following the paper — stations are laid out with a
+// Kohonen SOM trained on 1-D feature vectors (each station's first
+// measurement). Stations with similar values end up on nearby map units,
+// giving the spatial value correlation a realistic deployment would have.
+
+#ifndef WSNQ_DATA_SOM_H_
+#define WSNQ_DATA_SOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geometry.h"
+
+namespace wsnq {
+
+/// 2-D rectangular-grid Kohonen map with scalar unit weights.
+class SelfOrganizingMap {
+ public:
+  struct Options {
+    /// Grid side length; 0 = derive ceil(sqrt(#features)).
+    int grid_side = 0;
+    int epochs = 20;
+    double initial_learning_rate = 0.5;
+    double final_learning_rate = 0.02;
+    /// Initial neighbourhood radius as a fraction of the grid side.
+    double initial_radius_fraction = 0.5;
+    double final_radius = 0.75;
+    uint64_t seed = 7;
+  };
+
+  SelfOrganizingMap(const std::vector<double>& features,
+                    const Options& options);
+
+  /// Index of the best-matching unit for `feature`.
+  int BestMatchingUnit(double feature) const;
+
+  int grid_side() const { return grid_side_; }
+  double unit_weight(int unit) const {
+    return weights_[static_cast<size_t>(unit)];
+  }
+
+  /// Maps every input feature to a deployment position inside
+  /// [0,width] x [0,height]: the BMU's cell center plus a deterministic
+  /// jitter so that co-mapped stations do not coincide.
+  std::vector<Point2D> PlaceStations(const std::vector<double>& features,
+                                     double width, double height) const;
+
+ private:
+  int grid_side_;
+  std::vector<double> weights_;  // grid_side_^2 scalar weights, row-major
+  uint64_t seed_;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_SOM_H_

@@ -1,0 +1,73 @@
+#include "data/synthetic_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic uniform in [0,1) keyed by (seed, sensor, round).
+double HashUniform(uint64_t seed, int sensor, int64_t round) {
+  const uint64_t h =
+      Mix(seed ^ Mix(static_cast<uint64_t>(sensor) + 0x51ed2701) ^
+          (static_cast<uint64_t>(round) * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SyntheticTrace::SyntheticTrace(std::vector<Point2D> positions,
+                               const Options& options)
+    : options_(options) {
+  WSNQ_CHECK_LT(options_.range_min, options_.range_max);
+  WSNQ_CHECK_GT(options_.period_rounds, 0.0);
+  const double span =
+      static_cast<double>(options_.range_max - options_.range_min);
+  NoiseImage image(options_.seed);
+  base_.reserve(positions.size());
+  // Keep headroom for the sinusoid so the clamp rarely bites: the base is
+  // centred into [A, span - A].
+  const double amp = options_.amplitude_fraction * span;
+  for (const auto& p : positions) {
+    // 256 grey levels plus jitter below one grey step (§5.1.2).
+    const double grey = static_cast<double>(image.Grey(p.x, p.y)) / 255.0;
+    const double jitter =
+        (HashUniform(options_.seed ^ 0xabcdef, static_cast<int>(base_.size()),
+                     -1) -
+         0.5) /
+        255.0;
+    const double normalized = std::clamp(grey + jitter, 0.0, 1.0);
+    base_.push_back(static_cast<double>(options_.range_min) + amp +
+                    normalized * std::max(0.0, span - 2.0 * amp));
+  }
+}
+
+int64_t SyntheticTrace::Value(int sensor, int64_t round) const {
+  WSNQ_CHECK_GE(sensor, 0);
+  WSNQ_CHECK_LT(sensor, num_sensors());
+  const double span =
+      static_cast<double>(options_.range_max - options_.range_min);
+  const double amp = options_.amplitude_fraction * span;
+  const double trend =
+      amp * std::sin(kTwoPi * static_cast<double>(round) /
+                     options_.period_rounds);
+  const double noise_mag = options_.noise_percent / 100.0 * span;
+  const double noise =
+      (HashUniform(options_.seed, sensor, round) - 0.5) * noise_mag;
+  const double value =
+      base_[static_cast<size_t>(sensor)] + trend + noise;
+  const int64_t rounded = static_cast<int64_t>(std::llround(value));
+  return std::clamp(rounded, options_.range_min, options_.range_max);
+}
+
+}  // namespace wsnq

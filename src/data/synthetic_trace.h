@@ -1,0 +1,60 @@
+// Synthetic dataset of §5.1.2 / §5.1.7: each sensor's initial value comes
+// from an interpolated-noise image sampled at the sensor's position (spatial
+// correlation), then evolves over time as
+//
+//   v_i(t) = clamp( base_i + A * sin(2*pi*t / period) + noise_i(t) )
+//
+// where the sinusoid models the global physical trend whose period tau is
+// swept in Fig. 7 and the per-node, per-round uniform noise of magnitude
+// psi (percent of the value range) is swept in Fig. 8.
+
+#ifndef WSNQ_DATA_SYNTHETIC_TRACE_H_
+#define WSNQ_DATA_SYNTHETIC_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/noise_image.h"
+#include "data/value_source.h"
+#include "net/geometry.h"
+
+namespace wsnq {
+
+/// Spatially and temporally correlated synthetic measurement field.
+class SyntheticTrace : public ValueSource {
+ public:
+  struct Options {
+    int64_t range_min = 0;
+    int64_t range_max = 1023;
+    /// Period tau of the sinusoidal trend, in rounds (Table 2).
+    double period_rounds = 250.0;
+    /// Noise magnitude psi as percent of the range (Table 2). A value of p
+    /// draws per-node uniform noise from +-(p/100 * range)/2 each round.
+    double noise_percent = 5.0;
+    /// Sinusoid amplitude as a fraction of the range.
+    double amplitude_fraction = 0.25;
+    uint64_t seed = 1;
+  };
+
+  /// `positions` are the sensors' locations normalized to [0,1]^2; they seed
+  /// the spatial correlation of the base values.
+  SyntheticTrace(std::vector<Point2D> positions, const Options& options);
+
+  int64_t Value(int sensor, int64_t round) const override;
+  int num_sensors() const override {
+    return static_cast<int>(base_.size());
+  }
+  int64_t range_min() const override { return options_.range_min; }
+  int64_t range_max() const override { return options_.range_max; }
+
+  /// The spatially correlated, time-independent component of sensor i.
+  double base(int sensor) const { return base_[static_cast<size_t>(sensor)]; }
+
+ private:
+  Options options_;
+  std::vector<double> base_;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_SYNTHETIC_TRACE_H_

@@ -1,0 +1,57 @@
+// Trace persistence: write any ValueSource to CSV and read it back as an
+// InMemoryValueSource. This is how a user plugs real deployment data into
+// the simulator — the paper's pressure dataset is not redistributable, but
+// anyone holding equivalent station logs can export them in this format and
+// run every protocol on them (tools/wsnq_sim consumes the same substrate).
+//
+// Format:
+//   # wsnq-trace range_min=<int> range_max=<int>
+//   round,s0,s1,...,s{N-1}
+//   0,v,v,...
+//   1,v,v,...
+
+#ifndef WSNQ_DATA_TRACE_IO_H_
+#define WSNQ_DATA_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/value_source.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// A ValueSource backed by an explicit rounds x sensors matrix.
+class InMemoryValueSource : public ValueSource {
+ public:
+  /// `rows[t][i]` is sensor i's value at round t. All rows must have equal
+  /// size >= 1.
+  InMemoryValueSource(std::vector<std::vector<int64_t>> rows,
+                      int64_t range_min, int64_t range_max);
+
+  int64_t Value(int sensor, int64_t round) const override;
+  int num_sensors() const override {
+    return static_cast<int>(rows_.front().size());
+  }
+  int64_t range_min() const override { return range_min_; }
+  int64_t range_max() const override { return range_max_; }
+  int64_t rounds() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::vector<std::vector<int64_t>> rows_;
+  int64_t range_min_;
+  int64_t range_max_;
+};
+
+/// Writes rounds [0, rounds] of `source` to `path`.
+Status WriteTraceCsv(const ValueSource& source, int64_t rounds,
+                     const std::string& path);
+
+/// Reads a trace written by WriteTraceCsv (or hand-authored in the same
+/// format).
+StatusOr<InMemoryValueSource> ReadTraceCsv(const std::string& path);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_TRACE_IO_H_

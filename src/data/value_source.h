@@ -1,0 +1,48 @@
+// Abstraction over "what does sensor i measure in round t".
+//
+// Implementations must be deterministic functions of (seed, sensor, round)
+// so that different protocols can be replayed over the *same* measurement
+// trace, as the paper's evaluation does ("during a simulation run all
+// compared algorithms used the same ... topology" and data).
+
+#ifndef WSNQ_DATA_VALUE_SOURCE_H_
+#define WSNQ_DATA_VALUE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsnq {
+
+/// Integer measurement stream of a fixed set of sensors.
+class ValueSource {
+ public:
+  virtual ~ValueSource() = default;
+
+  /// Measurement of `sensor` (0-based, 0 <= sensor < num_sensors()) at
+  /// discrete time `round` (>= 0). Deterministic per instance.
+  virtual int64_t Value(int sensor, int64_t round) const = 0;
+
+  virtual int num_sensors() const = 0;
+
+  /// A-priori universe of possible values [range_min, range_max]; protocols
+  /// use it for histogram ranges and binary-search bounds.
+  virtual int64_t range_min() const = 0;
+  virtual int64_t range_max() const = 0;
+
+  /// Universe size tau = range_max - range_min + 1.
+  int64_t range_size() const { return range_max() - range_min() + 1; }
+
+  /// All measurements of one round, in sensor order.
+  std::vector<int64_t> Snapshot(int64_t round) const {
+    std::vector<int64_t> values(static_cast<size_t>(num_sensors()));
+    for (int i = 0; i < num_sensors(); ++i) {
+      values[static_cast<size_t>(i)] = Value(i, round);
+    }
+    return values;
+  }
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_DATA_VALUE_SOURCE_H_

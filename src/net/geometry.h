@@ -1,0 +1,28 @@
+// 2-D geometry primitives for node placement and radio-range tests.
+
+#ifndef WSNQ_NET_GEOMETRY_H_
+#define WSNQ_NET_GEOMETRY_H_
+
+#include <cmath>
+
+namespace wsnq {
+
+/// A position in the deployment area, in meters.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double SquaredDistance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace wsnq
+
+#endif  // WSNQ_NET_GEOMETRY_H_

@@ -1,0 +1,105 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+Network::Network(RadioGraph graph, SpanningTree tree, EnergyModel energy,
+                 Packetizer packetizer)
+    : graph_(std::move(graph)),
+      tree_(std::move(tree)),
+      energy_(energy),
+      packetizer_(packetizer) {
+  WSNQ_CHECK_EQ(graph_.size(), tree_.size());
+  round_energy_.assign(static_cast<size_t>(graph_.size()), 0.0);
+  total_energy_.assign(static_cast<size_t>(graph_.size()), 0.0);
+}
+
+StatusOr<Network> Network::Create(RadioGraph graph, int root,
+                                  EnergyModel energy, Packetizer packetizer) {
+  StatusOr<SpanningTree> tree = BuildShortestPathTree(graph, root);
+  if (!tree.ok()) return tree.status();
+  return Network(std::move(graph), std::move(tree).value(), energy,
+                 packetizer);
+}
+
+void Network::EnableUplinkLoss(double probability, uint64_t seed) {
+  WSNQ_CHECK_GE(probability, 0.0);
+  WSNQ_CHECK_LE(probability, 1.0);
+  loss_probability_ = probability;
+  loss_seed_ = seed;
+  loss_rng_ = Rng(seed);
+}
+
+bool Network::SendToParent(int v, int64_t payload_bits) {
+  if (is_root(v)) return true;
+  const int parent = tree_.parent[static_cast<size_t>(v)];
+  const PacketizedMessage msg = packetizer_.Packetize(payload_bits);
+  // The sender always pays; a lost packet costs energy too.
+  Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
+  round_packets_ += msg.packets;
+  total_packets_ += msg.packets;
+  if (loss_probability_ > 0.0 &&
+      loss_rng_.Bernoulli(loss_probability_)) {
+    return false;  // receiver never hears it
+  }
+  Debit(parent, energy_.RecvCost(msg.total_bits));
+  return true;
+}
+
+void Network::BroadcastToChildren(int v, int64_t payload_bits) {
+  const auto& kids = tree_.children[static_cast<size_t>(v)];
+  if (kids.empty()) return;
+  const PacketizedMessage msg = packetizer_.Packetize(payload_bits);
+  Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
+  for (int child : kids) Debit(child, energy_.RecvCost(msg.total_bits));
+  round_packets_ += msg.packets;
+  total_packets_ += msg.packets;
+}
+
+void Network::FloodFromRoot(int64_t payload_bits) {
+  ++round_floods_;
+  ++total_floods_;
+  for (int v : tree_.pre_order) BroadcastToChildren(v, payload_bits);
+}
+
+void Network::ResetAccounting() {
+  std::fill(total_energy_.begin(), total_energy_.end(), 0.0);
+  total_packets_ = 0;
+  total_values_ = 0;
+  total_floods_ = 0;
+  total_convergecasts_ = 0;
+  loss_rng_ = Rng(loss_seed_);  // deterministic loss replay per protocol
+  BeginRound();
+}
+
+void Network::BeginRound() {
+  std::fill(round_energy_.begin(), round_energy_.end(), 0.0);
+  round_packets_ = 0;
+  round_values_ = 0;
+  round_floods_ = 0;
+  round_convergecasts_ = 0;
+}
+
+double Network::MaxRoundEnergyOverSensors() const {
+  double best = 0.0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (is_root(v)) continue;
+    best = std::max(best, round_energy_[static_cast<size_t>(v)]);
+  }
+  return best;
+}
+
+double Network::MaxTotalEnergyOverSensors() const {
+  double best = 0.0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (is_root(v)) continue;
+    best = std::max(best, total_energy_[static_cast<size_t>(v)]);
+  }
+  return best;
+}
+
+}  // namespace wsnq

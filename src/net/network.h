@@ -1,0 +1,166 @@
+// The simulated network: topology (radio graph + routing tree) plus per-node
+// energy, message, and value accounting. Quantile protocols never touch the
+// energy model directly; they express all communication through the three
+// primitives below, which debit senders and receivers per §5.1.4:
+//
+//   SendToParent(v, bits)        one unicast up the tree (convergecast step);
+//   BroadcastToChildren(v, bits) one radio transmission heard by all
+//                                children (local broadcast);
+//   FloodFromRoot(bits)          a full-tree broadcast: the root and every
+//                                internal node transmit once, every non-root
+//                                node receives once.
+//
+// Large payloads are fragmented by the Packetizer; every fragment pays the
+// message header again. Vertex 0 convention: the root is an ordinary vertex
+// id chosen at construction; use is_root()/root().
+
+#ifndef WSNQ_NET_NETWORK_H_
+#define WSNQ_NET_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/energy_model.h"
+#include "net/packetizer.h"
+#include "net/radio_graph.h"
+#include "net/spanning_tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// Topology + accounting context shared by all protocols in one run.
+class Network {
+ public:
+  Network(RadioGraph graph, SpanningTree tree, EnergyModel energy,
+          Packetizer packetizer);
+
+  // Not copyable (accounting identity), movable.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Convenience factory: builds the SPT of `graph` rooted at `root`.
+  static StatusOr<Network> Create(RadioGraph graph, int root,
+                                  EnergyModel energy, Packetizer packetizer);
+
+  // --- Topology -----------------------------------------------------------
+
+  /// All vertices including the root.
+  int num_vertices() const { return graph_.size(); }
+  /// |N|: measurement-taking nodes (everything but the root).
+  int num_sensors() const { return graph_.size() - 1; }
+  int root() const { return tree_.root; }
+  bool is_root(int v) const { return v == tree_.root; }
+  const SpanningTree& tree() const { return tree_; }
+  const RadioGraph& graph() const { return graph_; }
+  const Packetizer& packetizer() const { return packetizer_; }
+  const EnergyModel& energy_model() const { return energy_; }
+
+  // --- Message loss (§6 future work) ---------------------------------------
+
+  /// Makes every uplink unicast (SendToParent) independently fail with
+  /// probability `probability`. Lost messages still cost the sender
+  /// transmit energy and count as packets, but the receiver neither pays
+  /// nor learns the content — callers must drop the payload when
+  /// SendToParent returns false. Floods stay reliable (they model acked,
+  /// low-rate dissemination). The loss process is reseeded by
+  /// ResetAccounting so protocol replays are deterministic.
+  void EnableUplinkLoss(double probability, uint64_t seed);
+
+  /// True when a loss process is active; protocols use this to swap hard
+  /// invariant checks for best-effort fallbacks.
+  bool lossy() const { return loss_probability_ > 0.0; }
+
+  // --- Communication primitives (all accounting goes through these) -------
+
+  /// Unicast `payload_bits` from `v` to its parent. No-op for the root.
+  /// Returns true iff the message was delivered; on false the caller must
+  /// not merge the payload into the parent's state.
+  bool SendToParent(int v, int64_t payload_bits);
+
+  /// One local broadcast from `v` received by all of its children.
+  /// No-op for leaves.
+  void BroadcastToChildren(int v, int64_t payload_bits);
+
+  /// Disseminates `payload_bits` from the root to every node.
+  void FloodFromRoot(int64_t payload_bits);
+
+  /// Registers that a convergecast wave is starting; used (with the flood
+  /// count) to convert a round's exchanges into TDMA latency
+  /// (net/schedule.h). Every convergecast helper calls this once.
+  void NoteConvergecast() {
+    ++round_convergecasts_;
+    ++total_convergecasts_;
+  }
+
+  /// Tallies `count` protocol-level transmitted values (metric of §5.1.5);
+  /// does not consume energy by itself (the bits were already accounted).
+  void CountValues(int64_t count) {
+    round_values_ += count;
+    total_values_ += count;
+  }
+
+  // --- Round bookkeeping ---------------------------------------------------
+
+  /// Resets the per-round counters; call at the start of every round.
+  void BeginRound();
+
+  /// Clears all accounting (per-round and lifetime); used to rerun several
+  /// protocols over the identical topology, as the paper's evaluation does.
+  void ResetAccounting();
+
+  /// Energy drawn by `v` in the current round [mJ].
+  double round_energy(int v) const {
+    return round_energy_[static_cast<size_t>(v)];
+  }
+  /// Lifetime energy drawn by `v` [mJ].
+  double total_energy(int v) const {
+    return total_energy_[static_cast<size_t>(v)];
+  }
+  /// Max round energy over sensor nodes (the root's infinite supply makes it
+  /// irrelevant for hotspot analysis).
+  double MaxRoundEnergyOverSensors() const;
+  /// Max lifetime energy over sensor nodes.
+  double MaxTotalEnergyOverSensors() const;
+
+  int64_t round_packets() const { return round_packets_; }
+  int64_t total_packets() const { return total_packets_; }
+  int64_t round_values() const { return round_values_; }
+  int64_t total_values() const { return total_values_; }
+  int64_t round_floods() const { return round_floods_; }
+  int64_t total_floods() const { return total_floods_; }
+  int64_t round_convergecasts() const { return round_convergecasts_; }
+  int64_t total_convergecasts() const { return total_convergecasts_; }
+
+ private:
+  void Debit(int v, double mj) {
+    round_energy_[static_cast<size_t>(v)] += mj;
+    total_energy_[static_cast<size_t>(v)] += mj;
+  }
+
+  RadioGraph graph_;
+  SpanningTree tree_;
+  EnergyModel energy_;
+  Packetizer packetizer_;
+
+  double loss_probability_ = 0.0;
+  uint64_t loss_seed_ = 0;
+  Rng loss_rng_{0};
+
+  std::vector<double> round_energy_;
+  std::vector<double> total_energy_;
+  int64_t round_packets_ = 0;
+  int64_t total_packets_ = 0;
+  int64_t round_values_ = 0;
+  int64_t total_values_ = 0;
+  int64_t round_floods_ = 0;
+  int64_t total_floods_ = 0;
+  int64_t round_convergecasts_ = 0;
+  int64_t total_convergecasts_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_NET_NETWORK_H_

@@ -1,0 +1,50 @@
+// Message sizing (§5.1.4, simplified IEEE 802.15.4): every message carries a
+// fixed header/footer of s_h bits; the payload is fragmented into packets of
+// at most s_p bits, each fragment paying the header again.
+
+#ifndef WSNQ_NET_PACKETIZER_H_
+#define WSNQ_NET_PACKETIZER_H_
+
+#include <cstdint>
+
+namespace wsnq {
+
+/// Result of packetizing one logical message.
+struct PacketizedMessage {
+  /// Number of link-layer packets (fragments).
+  int64_t packets = 0;
+  /// Total bits on air, headers included.
+  int64_t total_bits = 0;
+};
+
+/// Link-layer frame geometry.
+struct Packetizer {
+  /// Header + footer size s_h [bits]; default 16 bytes.
+  int64_t header_bits = 16 * 8;
+  /// Maximum payload per packet s_p [bits]; default 128 bytes.
+  int64_t max_payload_bits = 128 * 8;
+
+  /// Splits `payload_bits` of payload into packets. A zero-bit payload still
+  /// produces one (header-only) packet, modelling control beacons.
+  PacketizedMessage Packetize(int64_t payload_bits) const {
+    PacketizedMessage out;
+    if (payload_bits <= 0) {
+      out.packets = 1;
+      out.total_bits = header_bits;
+      return out;
+    }
+    out.packets =
+        (payload_bits + max_payload_bits - 1) / max_payload_bits;
+    out.total_bits = payload_bits + out.packets * header_bits;
+    return out;
+  }
+
+  /// How many values of `value_bits` each fit into a single packet.
+  int64_t ValuesPerPacket(int64_t value_bits) const {
+    return max_payload_bits / value_bits;
+  }
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_NET_PACKETIZER_H_

@@ -1,0 +1,93 @@
+#include "net/radio_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+RadioGraph::RadioGraph(std::vector<Point2D> points, double rho)
+    : points_(std::move(points)), rho_(rho) {
+  WSNQ_CHECK_GT(rho, 0.0);
+  const int n = size();
+  adjacency_.assign(static_cast<size_t>(n), {});
+  if (n == 0) return;
+
+  // Bounding box and grid with cell size rho.
+  double min_x = points_[0].x, max_x = points_[0].x;
+  double min_y = points_[0].y, max_y = points_[0].y;
+  for (const auto& p : points_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int cols =
+      std::max(1, static_cast<int>(std::floor((max_x - min_x) / rho)) + 1);
+  const int rows =
+      std::max(1, static_cast<int>(std::floor((max_y - min_y) / rho)) + 1);
+  auto cell_of = [&](const Point2D& p) {
+    int cx = static_cast<int>((p.x - min_x) / rho);
+    int cy = static_cast<int>((p.y - min_y) / rho);
+    cx = std::clamp(cx, 0, cols - 1);
+    cy = std::clamp(cy, 0, rows - 1);
+    return cy * cols + cx;
+  };
+
+  std::vector<std::vector<int>> cells(static_cast<size_t>(cols * rows));
+  for (int v = 0; v < n; ++v) {
+    cells[static_cast<size_t>(cell_of(points_[static_cast<size_t>(v)]))]
+        .push_back(v);
+  }
+
+  const double rho_sq = rho * rho;
+  for (int v = 0; v < n; ++v) {
+    const Point2D& p = points_[static_cast<size_t>(v)];
+    const int cx = std::clamp(static_cast<int>((p.x - min_x) / rho), 0,
+                              cols - 1);
+    const int cy = std::clamp(static_cast<int>((p.y - min_y) / rho), 0,
+                              rows - 1);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || nx >= cols || ny < 0 || ny >= rows) continue;
+        for (int u : cells[static_cast<size_t>(ny * cols + nx)]) {
+          if (u == v) continue;
+          if (SquaredDistance(p, points_[static_cast<size_t>(u)]) <= rho_sq) {
+            adjacency_[static_cast<size_t>(v)].push_back(u);
+          }
+        }
+      }
+    }
+    // Deterministic neighbour order independent of grid iteration order.
+    std::sort(adjacency_[static_cast<size_t>(v)].begin(),
+              adjacency_[static_cast<size_t>(v)].end());
+  }
+}
+
+bool RadioGraph::IsConnected() const {
+  const int n = size();
+  if (n <= 1) return true;
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  std::vector<int> stack = {0};
+  seen[0] = 1;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int u : neighbors(v)) {
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = 1;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace wsnq

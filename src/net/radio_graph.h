@@ -1,0 +1,42 @@
+// The physical communication graph G_p of §2: an undirected unit-disk graph
+// whose vertices are node positions and whose edges connect every pair of
+// nodes within radio range rho. Adjacency is built with a uniform spatial
+// grid, so construction is O(V + E) in expectation.
+
+#ifndef WSNQ_NET_RADIO_GRAPH_H_
+#define WSNQ_NET_RADIO_GRAPH_H_
+
+#include <vector>
+
+#include "net/geometry.h"
+
+namespace wsnq {
+
+/// Immutable unit-disk graph over a set of positions.
+class RadioGraph {
+ public:
+  /// Builds the graph; O(V + E) expected using grid bucketing.
+  RadioGraph(std::vector<Point2D> points, double rho);
+
+  int size() const { return static_cast<int>(points_.size()); }
+  double rho() const { return rho_; }
+  const Point2D& point(int v) const { return points_[static_cast<size_t>(v)]; }
+  const std::vector<Point2D>& points() const { return points_; }
+
+  /// Neighbours of `v` (all u != v with dist(u, v) <= rho).
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<size_t>(v)];
+  }
+
+  /// True iff the graph is connected (BFS from vertex 0).
+  bool IsConnected() const;
+
+ private:
+  std::vector<Point2D> points_;
+  double rho_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_NET_RADIO_GRAPH_H_

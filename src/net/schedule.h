@@ -1,0 +1,55 @@
+// TDMA slot scheduling. §5.1.4 assumes "due to a scheduling strategy each
+// node knows when it might receive a message" — this module builds that
+// schedule instead of assuming it, which buys a metric the round-based
+// model cannot otherwise provide: per-round *latency* in slots.
+//
+// Slots are assigned by greedy graph coloring of the two-hop interference
+// graph (nodes within two radio hops may not transmit simultaneously — the
+// classic hidden-terminal constraint). A convergecast round then needs
+// depth-ordered slot epochs (leaves first), a flood the reverse; the
+// schedule length bounds how long one protocol round occupies the channel.
+
+#ifndef WSNQ_NET_SCHEDULE_H_
+#define WSNQ_NET_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/radio_graph.h"
+#include "net/spanning_tree.h"
+
+namespace wsnq {
+
+/// A two-hop-interference-free TDMA slot assignment.
+class TdmaSchedule {
+ public:
+  /// Colors the two-hop interference graph of `graph` greedily in
+  /// decreasing-degree order.
+  TdmaSchedule(const RadioGraph& graph, const SpanningTree& tree);
+
+  /// Slot (color) of vertex v within a slot frame.
+  int slot(int v) const { return slots_[static_cast<size_t>(v)]; }
+  /// Frame length: number of distinct slots.
+  int frame_length() const { return frame_length_; }
+
+  /// True iff no two vertices within two radio hops share a slot
+  /// (the defining invariant; exercised by tests).
+  bool IsInterferenceFree(const RadioGraph& graph) const;
+
+  /// Slots needed for one full convergecast: every node must transmit
+  /// after all of its children, in its own slot; computed as a per-depth
+  /// pipeline over frames.
+  int64_t ConvergecastSlots() const;
+
+  /// Slots needed for one root-to-leaves flood.
+  int64_t FloodSlots() const;
+
+ private:
+  const SpanningTree* tree_;
+  std::vector<int> slots_;
+  int frame_length_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_NET_SCHEDULE_H_

@@ -1,0 +1,151 @@
+#include "net/spanning_tree.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "net/geometry.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+// BFS hop distances from `root`; -1 when unreachable.
+std::vector<int> BfsDepths(const RadioGraph& graph, int root) {
+  std::vector<int> depth(static_cast<size_t>(graph.size()), -1);
+  std::queue<int> frontier;
+  frontier.push(root);
+  depth[static_cast<size_t>(root)] = 0;
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (int u : graph.neighbors(v)) {
+      if (depth[static_cast<size_t>(u)] < 0) {
+        depth[static_cast<size_t>(u)] = depth[static_cast<size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return depth;
+}
+
+// Fills children lists and pre/post orders from root + parent array.
+void FinalizeTree(SpanningTree* tree) {
+  const int n = tree->size();
+  tree->children.assign(static_cast<size_t>(n), {});
+  for (int v = 0; v < n; ++v) {
+    if (v == tree->root) continue;
+    tree->children[static_cast<size_t>(
+                       tree->parent[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  for (auto& c : tree->children) std::sort(c.begin(), c.end());
+
+  tree->pre_order.clear();
+  tree->post_order.clear();
+  tree->pre_order.reserve(static_cast<size_t>(n));
+  tree->post_order.reserve(static_cast<size_t>(n));
+  std::vector<std::pair<int, size_t>> stack;  // (vertex, next child index)
+  stack.emplace_back(tree->root, 0);
+  tree->pre_order.push_back(tree->root);
+  while (!stack.empty()) {
+    auto& [v, idx] = stack.back();
+    const auto& kids = tree->children[static_cast<size_t>(v)];
+    if (idx < kids.size()) {
+      const int child = kids[idx++];
+      tree->pre_order.push_back(child);
+      stack.emplace_back(child, 0);
+    } else {
+      tree->post_order.push_back(v);
+      stack.pop_back();
+    }
+  }
+  WSNQ_CHECK_EQ(static_cast<int>(tree->post_order.size()), n);
+}
+
+}  // namespace
+
+StatusOr<SpanningTree> BuildRoutingTree(const RadioGraph& graph, int root,
+                                        ParentSelection selection,
+                                        uint64_t seed) {
+  const int n = graph.size();
+  WSNQ_CHECK_GE(root, 0);
+  WSNQ_CHECK_LT(root, n);
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.depth = BfsDepths(graph, root);
+  for (int d : tree.depth) {
+    if (d < 0) {
+      return Status::FailedPrecondition(
+          "radio graph is not connected; cannot build routing tree");
+    }
+  }
+
+  tree.parent.assign(static_cast<size_t>(n), -1);
+  Rng rng(seed ^ 0x5eed7ee5eed7ee5ULL);
+  // Process nodes level by level so kDegreeBalanced sees up-to-date child
+  // counts; within a level, ascending vertex id (deterministic).
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = tree.depth[static_cast<size_t>(a)];
+    const int db = tree.depth[static_cast<size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<int> child_count(static_cast<size_t>(n), 0);
+
+  for (int v : order) {
+    if (v == root) continue;
+    std::vector<int> candidates;
+    for (int u : graph.neighbors(v)) {
+      if (tree.depth[static_cast<size_t>(u)] ==
+          tree.depth[static_cast<size_t>(v)] - 1) {
+        candidates.push_back(u);
+      }
+    }
+    WSNQ_CHECK(!candidates.empty());
+    int best = candidates.front();
+    switch (selection) {
+      case ParentSelection::kNearest: {
+        double best_d = SquaredDistance(graph.point(v), graph.point(best));
+        for (int u : candidates) {
+          const double d = SquaredDistance(graph.point(v), graph.point(u));
+          if (d < best_d) {
+            best = u;
+            best_d = d;
+          }
+        }
+        break;
+      }
+      case ParentSelection::kDegreeBalanced: {
+        for (int u : candidates) {
+          if (child_count[static_cast<size_t>(u)] <
+              child_count[static_cast<size_t>(best)]) {
+            best = u;
+          }
+        }
+        break;
+      }
+      case ParentSelection::kRandom: {
+        best = candidates[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(candidates.size()) - 1))];
+        break;
+      }
+    }
+    tree.parent[static_cast<size_t>(v)] = best;
+    ++child_count[static_cast<size_t>(best)];
+  }
+
+  FinalizeTree(&tree);
+  return tree;
+}
+
+StatusOr<SpanningTree> BuildShortestPathTree(const RadioGraph& graph,
+                                             int root) {
+  return BuildRoutingTree(graph, root, ParentSelection::kNearest);
+}
+
+}  // namespace wsnq

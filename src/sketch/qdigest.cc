@@ -1,0 +1,120 @@
+#include "sketch/qdigest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+QDigest::QDigest(int height, int64_t compression)
+    : height_(height), compression_(compression) {
+  WSNQ_CHECK_GE(height, 1);
+  WSNQ_CHECK_LE(height, 32);
+  WSNQ_CHECK_GE(compression, 1);
+}
+
+int64_t QDigest::RangeLo(int64_t id) const {
+  int64_t lo = id;
+  while (lo < (int64_t{1} << height_)) lo <<= 1;
+  return lo - (int64_t{1} << height_);
+}
+
+int64_t QDigest::RangeHi(int64_t id) const {
+  int64_t hi = id;
+  while (hi < (int64_t{1} << height_)) hi = (hi << 1) | 1;
+  return hi - (int64_t{1} << height_);
+}
+
+void QDigest::Add(int64_t value, int64_t count) {
+  WSNQ_CHECK_GE(value, 0);
+  WSNQ_CHECK_LT(value, int64_t{1} << height_);
+  WSNQ_CHECK_GE(count, 1);
+  nodes_[LeafId(value)] += count;
+  total_ += count;
+  if (static_cast<int64_t>(nodes_.size()) > 3 * compression_) Compress();
+}
+
+void QDigest::Merge(const QDigest& other) {
+  WSNQ_CHECK_EQ(height_, other.height_);
+  WSNQ_CHECK_EQ(compression_, other.compression_);
+  for (const auto& [id, count] : other.nodes_) nodes_[id] += count;
+  total_ += other.total_;
+  Compress();
+}
+
+void QDigest::Compress() {
+  // The q-digest property merges (v, sibling, parent) triples of combined
+  // count <= floor(n / k). A zero cap means the digest is still exact.
+  const int64_t cap = total_ / compression_;
+  if (cap == 0) return;
+  // Bottom-up: merge (left child, right child, parent) triples whose
+  // combined count still fits under the cap.
+  for (int depth = height_; depth >= 1; --depth) {
+    const int64_t level_lo = int64_t{1} << depth;
+    const int64_t level_hi = int64_t{1} << (depth + 1);
+    std::vector<int64_t> level;
+    for (const auto& [id, count] : nodes_) {
+      if (id >= level_lo && id < level_hi) level.push_back(id);
+    }
+    for (int64_t id : level) {
+      const auto it = nodes_.find(id);
+      if (it == nodes_.end()) continue;  // already merged via sibling
+      const int64_t parent = id >> 1;
+      const int64_t sibling = id ^ 1;
+      int64_t triple = it->second;
+      const auto sib = nodes_.find(sibling);
+      if (sib != nodes_.end()) triple += sib->second;
+      const auto par = nodes_.find(parent);
+      if (par != nodes_.end()) triple += par->second;
+      if (triple <= cap) {
+        nodes_.erase(id);
+        if (sib != nodes_.end()) nodes_.erase(sibling);
+        nodes_[parent] = triple;
+      }
+    }
+  }
+}
+
+int64_t QDigest::QueryQuantile(int64_t k) const {
+  WSNQ_CHECK_GE(k, 1);
+  if (total_ == 0) return 0;
+  if (k > total_) k = total_;
+  // Post-order style scan: increasing range max, smaller ranges first.
+  std::vector<std::pair<int64_t, int64_t>> ordered;  // (id, count)
+  ordered.reserve(nodes_.size());
+  for (const auto& node : nodes_) ordered.push_back(node);
+  std::sort(ordered.begin(), ordered.end(),
+            [this](const auto& a, const auto& b) {
+              const int64_t ha = RangeHi(a.first);
+              const int64_t hb = RangeHi(b.first);
+              if (ha != hb) return ha < hb;
+              return RangeLo(a.first) > RangeLo(b.first);
+            });
+  int64_t cumulative = 0;
+  for (const auto& [id, count] : ordered) {
+    cumulative += count;
+    if (cumulative >= k) return RangeHi(id);
+  }
+  return RangeHi(ordered.back().first);
+}
+
+int64_t QDigest::EstimateRank(int64_t value) const {
+  int64_t rank = 0;
+  for (const auto& [id, count] : nodes_) {
+    if (RangeHi(id) <= value) rank += count;
+  }
+  return rank;
+}
+
+int64_t QDigest::ErrorBound() const {
+  return static_cast<int64_t>(height_) * (total_ / compression_);
+}
+
+int64_t QDigest::EncodedBits(const WireFormat& wire) const {
+  // Node id needs height+1 bits; count is a standard counter field.
+  return static_cast<int64_t>(nodes_.size()) *
+         (height_ + 1 + wire.counter_bits);
+}
+
+}  // namespace wsnq

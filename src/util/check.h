@@ -1,0 +1,49 @@
+// Lightweight assertion macros for a codebase that does not use exceptions.
+//
+// CHECK(cond) aborts the process with a diagnostic when `cond` is false, in
+// every build type. DCHECK(cond) compiles away in NDEBUG builds and is meant
+// for invariants that are too hot to verify in release simulations.
+
+#ifndef WSNQ_UTIL_CHECK_H_
+#define WSNQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsnq {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace wsnq
+
+#define WSNQ_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::wsnq::internal_check::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                                  \
+  } while (0)
+
+#define WSNQ_CHECK_OP(a, op, b) WSNQ_CHECK((a)op(b))
+#define WSNQ_CHECK_EQ(a, b) WSNQ_CHECK_OP(a, ==, b)
+#define WSNQ_CHECK_NE(a, b) WSNQ_CHECK_OP(a, !=, b)
+#define WSNQ_CHECK_LT(a, b) WSNQ_CHECK_OP(a, <, b)
+#define WSNQ_CHECK_LE(a, b) WSNQ_CHECK_OP(a, <=, b)
+#define WSNQ_CHECK_GT(a, b) WSNQ_CHECK_OP(a, >, b)
+#define WSNQ_CHECK_GE(a, b) WSNQ_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define WSNQ_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define WSNQ_DCHECK(cond) WSNQ_CHECK(cond)
+#endif
+
+#endif  // WSNQ_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+#include "util/lambert_w.h"
+
+#include <cmath>
+#include <limits>
+
+namespace wsnq {
+
+double LambertW0(double x) {
+  constexpr double kInvE = 0.36787944117144233;  // 1/e
+  if (x < -kInvE) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 0.0;
+
+  // Initial guess.
+  double w;
+  if (x < 1.0) {
+    // Series around the branch point -1/e: W ~ -1 + p - p^2/3 with
+    // p = sqrt(2 (e x + 1)).
+    const double p = std::sqrt(2.0 * (2.718281828459045 * x + 1.0));
+    w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+    if (!(w > -1.0)) w = -1.0 + 1e-12;
+  } else {
+    // Asymptotic: W ~ ln x - ln ln x.
+    const double lx = std::log(x);
+    w = lx - std::log(lx > 1.0 ? lx : 1.0);
+  }
+
+  // Halley iteration.
+  for (int i = 0; i < 64; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double wp1 = w + 1.0;
+    const double step = f / (ew * wp1 - (w + 2.0) * f / (2.0 * wp1));
+    w -= step;
+    if (std::fabs(step) <= 1e-14 * (1.0 + std::fabs(w))) break;
+  }
+  return w;
+}
+
+}  // namespace wsnq

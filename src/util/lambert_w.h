@@ -1,0 +1,19 @@
+// Principal branch W0 of the Lambert W function, the solution of
+// W(x) * exp(W(x)) = x for x >= -1/e.
+//
+// The histogram cost model of Niedermayer et al. derives the optimal bucket
+// count b from b * (ln b - 1) = K, whose closed form is
+// b = exp(W0(K / e) + 1); see algo/cost_model.h.
+
+#ifndef WSNQ_UTIL_LAMBERT_W_H_
+#define WSNQ_UTIL_LAMBERT_W_H_
+
+namespace wsnq {
+
+/// Evaluates W0(x) for x >= -1/e to near machine precision (Halley
+/// iteration from an asymptotic initial guess). Returns NaN for x < -1/e.
+double LambertW0(double x);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_UTIL_LAMBERT_W_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// The generator is xoshiro256** seeded through SplitMix64. Every simulation
+// component takes an explicit Rng (or a seed) so that a given
+// (seed, configuration) pair always reproduces the same run, independent of
+// platform or standard-library version — std::mt19937 distributions are not
+// bit-stable across implementations, so we implement our own.
+
+#ifndef WSNQ_UTIL_RNG_H_
+#define WSNQ_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace wsnq {
+
+/// xoshiro256** PRNG with SplitMix64 seeding and convenience distributions.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal deviate (Box–Muller; consumes two outputs).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Derives an independent child generator; used to give each simulation
+  /// run / component its own stream while staying reproducible.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_UTIL_RNG_H_

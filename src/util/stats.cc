@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(other.count_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  WSNQ_CHECK_GE(q, 0.0);
+  WSNQ_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+int64_t KthSmallest(std::vector<int64_t> values, size_t k) {
+  WSNQ_CHECK_LT(k, values.size());
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(k),
+                   values.end());
+  return values[k];
+}
+
+}  // namespace wsnq

@@ -1,0 +1,109 @@
+// Differential fuzzing: all exact protocols replayed over the same random
+// scenario must report identical quantiles every round — against each other
+// and the oracle — across a grid of universe sizes, ranks, drift styles,
+// and topology densities. One disagreement pinpoints a protocol bug the
+// targeted unit tests might rationalize away.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/oracle.h"
+#include "algo/registry.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+struct FuzzCase {
+  uint64_t seed;
+  int sensors;
+  int64_t universe;   // values in [0, universe)
+  int64_t k;
+  int drift;          // max per-round per-node step
+  double jump_prob;   // chance of a global level shift each round
+};
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  const FuzzCase& c = info.param;
+  return "s" + std::to_string(c.seed) + "_n" + std::to_string(c.sensors) +
+         "_u" + std::to_string(c.universe) + "_k" + std::to_string(c.k) +
+         "_d" + std::to_string(c.drift);
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DifferentialFuzz, AllExactProtocolsAgree) {
+  const FuzzCase& param = GetParam();
+  constexpr AlgorithmKind kKinds[] = {
+      AlgorithmKind::kTag,    AlgorithmKind::kPos,
+      AlgorithmKind::kPosSr,  AlgorithmKind::kHbc,    AlgorithmKind::kHbcNtb,
+      AlgorithmKind::kIq,     AlgorithmKind::kLcllH,
+      AlgorithmKind::kLcllS,  AlgorithmKind::kSnapshot,
+  };
+  // One network per protocol (identical topology: same seed).
+  std::vector<Network> nets;
+  std::vector<std::unique_ptr<QuantileProtocol>> protocols;
+  for (AlgorithmKind kind : kKinds) {
+    nets.push_back(MakeRandomNetwork(param.sensors, param.seed * 7 + 1));
+    protocols.push_back(MakeProtocol(kind, param.k, 0, param.universe - 1,
+                                     WireFormat{}));
+  }
+
+  Rng rng(param.seed);
+  std::vector<int64_t> values(
+      static_cast<size_t>(nets[0].num_vertices()), 0);
+  for (int v = 1; v < nets[0].num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(0, param.universe - 1);
+  }
+  for (int64_t round = 0; round <= 30; ++round) {
+    const auto sensors = SensorValues(nets[0], values);
+    const int64_t truth = OracleKth(sensors, param.k);
+    for (size_t i = 0; i < protocols.size(); ++i) {
+      nets[i].BeginRound();
+      protocols[i]->RunRound(&nets[i], values, round);
+      ASSERT_EQ(protocols[i]->quantile(), truth)
+          << protocols[i]->name() << " diverged at round " << round;
+    }
+    // Evolve: drift plus occasional global jumps.
+    const int64_t shift =
+        rng.Bernoulli(param.jump_prob)
+            ? rng.UniformInt(-param.universe / 4, param.universe / 4)
+            : 0;
+    for (int v = 1; v < nets[0].num_vertices(); ++v) {
+      int64_t& x = values[static_cast<size_t>(v)];
+      x += shift + rng.UniformInt(-param.drift, param.drift);
+      x = std::clamp<int64_t>(x, 0, param.universe - 1);
+    }
+  }
+}
+
+std::vector<FuzzCase> MakeFuzzGrid() {
+  std::vector<FuzzCase> cases;
+  uint64_t seed = 1;
+  for (int sensors : {17, 48}) {
+    for (int64_t universe : {int64_t{64}, int64_t{4096}, int64_t{1} << 20}) {
+      for (int64_t k : {int64_t{1}, sensors / 2 + int64_t{0},
+                        static_cast<int64_t>(sensors)}) {
+        for (int drift : {1, 50}) {
+          cases.push_back(
+              {seed++, sensors, universe, std::max<int64_t>(1, k), drift,
+               0.15});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DifferentialFuzz,
+                         ::testing::ValuesIn(MakeFuzzGrid()), FuzzName);
+
+}  // namespace
+}  // namespace wsnq

@@ -1,0 +1,155 @@
+// Exchange-level guarantees, observable through the Network's flood /
+// convergecast counters: IQ's "at most two convergecasts per round"
+// promise (§4.2), POS-SR's single refinement, silence of quiet rounds,
+// and the report/summary plumbing.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/iq.h"
+#include "algo/oracle.h"
+#include "algo/pos_sr.h"
+#include "algo/registry.h"
+#include "algo/snapshot_bary.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "sketch/gk_summary.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+TEST(ExchangeTest, IqNeverExceedsTwoConvergecastsPerRound) {
+  // §4.2: "a round finishes after at most two convergecasts" — validate
+  // the claim literally under a chaotic workload.
+  Network net = MakeRandomNetwork(60, 401);
+  IqProtocol iq(30, 0, 65535, WireFormat{}, {});
+  Rng rng(3);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 40; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(0, 65535);
+    }
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+    if (round == 0) continue;  // initialization collects once + floods
+    ASSERT_LE(net.round_convergecasts(), 2) << "round " << round;
+    // Validation + at most (refinement request, filter) floods.
+    ASSERT_LE(net.round_floods(), 2) << "round " << round;
+  }
+}
+
+TEST(ExchangeTest, PosSrExactlyOneRefinementPerMovement) {
+  Network net = MakeRandomNetwork(50, 403);
+  PosSrProtocol sr(25, 0, 4095, WireFormat{}, {});
+  Rng rng(5);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 30; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(0, 4095);
+    }
+    net.BeginRound();
+    sr.RunRound(&net, values, round);
+    ASSERT_LE(sr.refinements_last_round(), 1);
+    if (round > 0) {
+      ASSERT_LE(net.round_convergecasts(), 2);
+      ASSERT_EQ(sr.quantile(), OracleKth(SensorValues(net, values), 25));
+    }
+  }
+}
+
+TEST(ExchangeTest, QuietRoundsAreExchangeFree) {
+  // No value moves -> POS/HBC/IQ/LCLL perform zero exchanges of any kind.
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kPos, AlgorithmKind::kPosSr, AlgorithmKind::kHbc,
+        AlgorithmKind::kIq, AlgorithmKind::kLcllH, AlgorithmKind::kLcllS}) {
+    Network net = MakeRandomNetwork(40, 405);
+    auto protocol = MakeProtocol(kind, 20, 0, 1023, WireFormat{});
+    std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = 10 * v;
+    }
+    net.BeginRound();
+    protocol->RunRound(&net, values, 0);
+    // Let IQ's window settle to a point, LCLL's deltas to zero.
+    for (int64_t round = 1; round <= 8; ++round) {
+      net.BeginRound();
+      protocol->RunRound(&net, values, round);
+    }
+    net.BeginRound();
+    protocol->RunRound(&net, values, 9);
+    EXPECT_EQ(net.round_packets(), 0) << AlgorithmName(kind);
+    EXPECT_EQ(net.round_floods(), 0) << AlgorithmName(kind);
+  }
+}
+
+TEST(ExchangeTest, SnapshotWrapperRerunsEveryRound) {
+  Network net = MakeRandomNetwork(30, 407);
+  DrillOptions options;
+  options.buckets = 8;
+  SnapshotBaryProtocol snapshot(15, 0, 4095, WireFormat{}, options);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  Rng rng(7);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(0, 4095);
+  }
+  int64_t first_packets = -1;
+  for (int64_t round = 0; round <= 3; ++round) {
+    net.BeginRound();
+    snapshot.RunRound(&net, values, round);
+    EXPECT_EQ(snapshot.quantile(), OracleKth(SensorValues(net, values), 15));
+    if (round == 1) first_packets = net.round_packets();
+    if (round > 1) {
+      // Static data, stateless protocol: every round costs the same.
+      EXPECT_EQ(net.round_packets(), first_packets);
+    }
+  }
+}
+
+TEST(GkInvariantTest, RankBandsWithinTwoEpsilonN) {
+  GkSummary summary(0.05);
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) summary.Add(rng.UniformInt(0, 100000));
+  // The defining invariant: g_i + delta_i <= 2 * epsilon * n for all i.
+  const int64_t bound = static_cast<int64_t>(2.0 * 0.05 * 4000) + 1;
+  for (const GkSummary::Tuple& t : summary.tuples()) {
+    EXPECT_LE(t.g + t.delta, bound);
+  }
+  // Values stay sorted.
+  for (size_t i = 1; i < summary.tuples().size(); ++i) {
+    EXPECT_LE(summary.tuples()[i - 1].value, summary.tuples()[i].value);
+  }
+  // g's sum to n.
+  int64_t total_g = 0;
+  for (const auto& t : summary.tuples()) total_g += t.g;
+  EXPECT_EQ(total_g, 4000);
+}
+
+TEST(ReportTest, RowsPrintAllColumns) {
+  AlgorithmAggregate aggregate;
+  aggregate.label = "IQ";
+  aggregate.max_round_energy_mj.Add(0.123456);
+  aggregate.lifetime_rounds.Add(321.0);
+  aggregate.packets.Add(150.0);
+  aggregate.values.Add(80.0);
+  aggregate.refinements.Add(0.25);
+  aggregate.errors = 0;
+  ::testing::internal::CaptureStdout();
+  PrintReportHeader();
+  PrintReportRow("figX", "synthetic", "period", "125", aggregate);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("figX"), std::string::npos);
+  EXPECT_NE(out.find("IQ"), std::string::npos);
+  EXPECT_NE(out.find("0.123456"), std::string::npos);
+  EXPECT_NE(out.find("321.0"), std::string::npos);
+  EXPECT_NE(out.find("max_energy_mJ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsnq

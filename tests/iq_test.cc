@@ -1,0 +1,211 @@
+// IQ protocol behaviour (§4.2): zero-refinement tracking when the quantile
+// drifts inside Xi, the at-most-one-refinement guarantee, window adaptation
+// (Eq. 1-2), the in-A rank arithmetic with duplicates, and the f1/f2
+// bounded refinement responses.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/iq.h"
+#include "algo/oracle.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeLineNetwork;
+using testing_support::MakeRandomNetwork;
+
+IqProtocol MakeIq(int64_t k, int64_t lo, int64_t hi,
+                  IqProtocol::Options options = {}) {
+  return IqProtocol(k, lo, hi, WireFormat{}, options);
+}
+
+TEST(IqTest, InitializationSetsWindowAroundQuantile) {
+  Network net = MakeLineNetwork(8, 0);
+  IqProtocol iq = MakeIq(4, 0, 1023);
+  net.BeginRound();
+  iq.RunRound(&net, {0, 10, 20, 30, 40, 50, 60, 70}, 0);
+  EXPECT_EQ(iq.quantile(), 40);
+  EXPECT_LT(iq.xi_l(), 0);
+  EXPECT_GT(iq.xi_r(), 0);
+}
+
+TEST(IqTest, AtMostOneRefinementEver) {
+  Network net = MakeRandomNetwork(50, 3);
+  IqProtocol iq = MakeIq(25, 0, 4095);
+  Rng rng(17);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 40; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(0, 4095);  // chaotic
+    }
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+    ASSERT_LE(iq.refinements_last_round(), 1) << "round " << round;
+    ASSERT_EQ(iq.quantile(), OracleKth(SensorValues(net, values), 25));
+  }
+}
+
+TEST(IqTest, SlowDriftNeedsNoRefinements) {
+  // The headline property: when consecutive quantiles move within the
+  // adapted window, validation alone answers the query.
+  Network net = MakeRandomNetwork(60, 5);
+  IqProtocol iq = MakeIq(30, 0, 4095);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  Rng rng(9);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(2000, 2200);
+  }
+  int refinements_after_warmup = 0;
+  for (int64_t round = 0; round <= 30; ++round) {
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+    ASSERT_EQ(iq.quantile(),
+              OracleKth(SensorValues(net, values), 30));
+    if (round > 5) refinements_after_warmup += iq.refinements_last_round();
+    // Steady upward drift of +2 per node per round.
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] += 2;
+    }
+  }
+  EXPECT_EQ(refinements_after_warmup, 0);
+}
+
+TEST(IqTest, WindowAdaptsToTrendDirection) {
+  // Eq. 1-2: an upward trend collapses xi_l to 0 and opens xi_r; the
+  // reverse trend flips the window.
+  Network net = MakeRandomNetwork(40, 6);
+  IqProtocol::Options options;
+  options.m = 4;
+  IqProtocol iq = MakeIq(20, 0, 65535, options);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = 30000 + v;
+  }
+  net.BeginRound();
+  iq.RunRound(&net, values, 0);
+  int64_t round = 1;
+  for (; round <= 8; ++round) {  // upward regime
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] += 25;
+    }
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+  }
+  EXPECT_EQ(iq.xi_l(), 0);
+  EXPECT_GT(iq.xi_r(), 0);
+  for (const int64_t end = round + 8; round < end; ++round) {  // downward
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] -= 25;
+    }
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+  }
+  EXPECT_LT(iq.xi_l(), 0);
+  EXPECT_EQ(iq.xi_r(), 0);
+}
+
+TEST(IqTest, StableQuantileShrinksWindowToPoint) {
+  Network net = MakeRandomNetwork(30, 8);
+  IqProtocol::Options options;
+  options.m = 3;
+  IqProtocol iq = MakeIq(15, 0, 1023, options);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = 100 + 3 * v;
+  }
+  for (int64_t round = 0; round <= 10; ++round) {
+    net.BeginRound();
+    iq.RunRound(&net, values, round);  // nothing ever moves
+  }
+  EXPECT_EQ(iq.xi_l(), 0);
+  EXPECT_EQ(iq.xi_r(), 0);
+  // And such rounds are completely silent.
+  net.BeginRound();
+  iq.RunRound(&net, values, 11);
+  EXPECT_EQ(net.round_packets(), 0);
+}
+
+TEST(IqTest, DuplicateHeavyWorkloadStaysExact) {
+  Network net = MakeRandomNetwork(60, 12);
+  IqProtocol iq = MakeIq(30, 0, 15);  // tiny universe -> masses of ties
+  Rng rng(21);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 40; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(0, 15);
+    }
+    net.BeginRound();
+    iq.RunRound(&net, values, round);
+    const auto sensors = SensorValues(net, values);
+    ASSERT_EQ(iq.quantile(), OracleKth(sensors, 30)) << "round " << round;
+    const RootCounts oracle = OracleCounts(sensors, iq.quantile());
+    ASSERT_EQ(iq.root_counts().l, oracle.l) << "round " << round;
+    ASSERT_EQ(iq.root_counts().e, oracle.e) << "round " << round;
+  }
+}
+
+TEST(IqTest, LongerHistoryWidensWindow) {
+  auto terminal_width = [](int m) {
+    Network net = MakeRandomNetwork(40, 14);
+    IqProtocol::Options options;
+    options.m = m;
+    IqProtocol iq = MakeIq(20, 0, 65535, options);
+    std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = 30000 + 10 * v;
+    }
+    Rng rng(2);
+    for (int64_t round = 0; round <= 20; ++round) {
+      net.BeginRound();
+      iq.RunRound(&net, values, round);
+      const int64_t shift = rng.UniformInt(-80, 80);
+      for (int v = 1; v < net.num_vertices(); ++v) {
+        values[static_cast<size_t>(v)] += shift;
+      }
+    }
+    return iq.xi_r() - iq.xi_l();
+  };
+  EXPECT_GE(terminal_width(12), terminal_width(2));
+}
+
+TEST(IqTest, MedianGapInitIsRobustToOutliers) {
+  // One absurd outlier among the k smallest values blows up the mean-gap
+  // xi but not the median-gap xi.
+  std::vector<int64_t> values = {0, 1, 2, 3, 4, 5, 6, 10000};
+  auto initial_half_width = [&](IqProtocol::InitStrategy strategy) {
+    Network net = MakeLineNetwork(8, 0);
+    IqProtocol::Options options;
+    options.init_strategy = strategy;
+    IqProtocol iq = MakeIq(7, 0, 20000, options);
+    net.BeginRound();
+    iq.RunRound(&net, values, 0);
+    return iq.xi_r();
+  };
+  EXPECT_GT(initial_half_width(IqProtocol::InitStrategy::kMeanGap),
+            10 * initial_half_width(IqProtocol::InitStrategy::kMedianGap));
+}
+
+TEST(IqTest, RefinementChargesOnlyRequestedValues) {
+  // When the quantile escapes the window, the refinement response carries
+  // f1/f2 values, not the whole population: packets stay far below TAG's.
+  Network net = MakeLineNetwork(30, 0);
+  IqProtocol iq = MakeIq(15, 0, 65535);
+  std::vector<int64_t> values(30, 0);
+  for (int v = 1; v < 30; ++v) values[static_cast<size_t>(v)] = 100 * v;
+  net.BeginRound();
+  iq.RunRound(&net, values, 0);
+  // Jump the whole field up by a lot: quantile escapes Xi upward.
+  for (int v = 1; v < 30; ++v) values[static_cast<size_t>(v)] += 5000;
+  net.BeginRound();
+  iq.RunRound(&net, values, 1);
+  EXPECT_EQ(iq.quantile(), OracleKth(SensorValues(net, values), 15));
+  EXPECT_EQ(iq.refinements_last_round(), 1);
+}
+
+}  // namespace
+}  // namespace wsnq

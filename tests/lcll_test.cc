@@ -1,0 +1,229 @@
+// LCLL protocol behaviour (§5.1.6 and DESIGN.md's reconstruction): message-
+// size-driven bucket count, delta-encoded validation with silent boundary
+// buckets, slip vs hierarchical window refocusing, and exactness with
+// over-wide buckets.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/lcll.h"
+#include "algo/oracle.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeLineNetwork;
+using testing_support::MakeRandomNetwork;
+
+LcllProtocol MakeLcll(int64_t k, int64_t lo, int64_t hi,
+                      LcllProtocol::RefineMode mode,
+                      LcllProtocol::Options extra = {}) {
+  extra.mode = mode;
+  return LcllProtocol(k, lo, hi, WireFormat{}, extra);
+}
+
+TEST(LcllTest, BucketCountFromMessageSize) {
+  Network net = MakeLineNetwork(6, 0);
+  LcllProtocol lcll =
+      MakeLcll(3, 0, 1023, LcllProtocol::RefineMode::kHierarchical);
+  net.BeginRound();
+  lcll.RunRound(&net, {0, 1, 2, 3, 4, 5}, 0);
+  // 128-byte payload / 16-bit buckets = 64 (§5.1.6: "in our setting,
+  // 64 buckets").
+  EXPECT_EQ(lcll.buckets(), 64);
+  // Universe 1024 <= 64^2: finest buckets.
+  EXPECT_EQ(lcll.bucket_width(), 1);
+}
+
+TEST(LcllTest, WindowContainsQuantileAfterInit) {
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll =
+      MakeLcll(5, 0, 1023, LcllProtocol::RefineMode::kSlip);
+  std::vector<int64_t> values = {0,   100, 200, 300, 400,
+                                 500, 600, 700, 800, 900};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  EXPECT_EQ(lcll.quantile(), 500);
+  EXPECT_LE(lcll.window_lo(), 500);
+  EXPECT_GT(lcll.window_hi(), 500);
+}
+
+TEST(LcllTest, SilentWhenNothingMovesBuckets) {
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll =
+      MakeLcll(5, 0, 1023, LcllProtocol::RefineMode::kHierarchical);
+  std::vector<int64_t> values = {0,   100, 200, 300, 400,
+                                 500, 600, 700, 800, 900};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  net.BeginRound();
+  lcll.RunRound(&net, values, 1);
+  EXPECT_EQ(net.round_packets(), 0);
+  EXPECT_EQ(lcll.quantile(), 500);
+}
+
+TEST(LcllTest, BoundaryNodesStaySilent) {
+  // Values far outside the window may move wildly without crossing a
+  // bucket boundary — the §5.1.6 validation improvement keeps them quiet.
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll =
+      MakeLcll(5, 0, 65535, LcllProtocol::RefineMode::kHierarchical);
+  std::vector<int64_t> values = {0,    30000, 30010, 30020, 30030,
+                                 30040, 30050, 30060, 64000, 64500};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  EXPECT_EQ(lcll.quantile(), 30040);
+  // Baseline round: nothing moves. (With 16-wide buckets the critical
+  // bucket is still re-resolved, so the round is not free.)
+  net.BeginRound();
+  lcll.RunRound(&net, values, 1);
+  const int64_t baseline_packets = net.round_packets();
+  // The two top outliers wiggle wildly but stay inside the above-window
+  // boundary bucket: exactly zero additional traffic.
+  values[8] = 60000;
+  values[9] = 65535;
+  net.BeginRound();
+  lcll.RunRound(&net, values, 2);
+  EXPECT_EQ(net.round_packets(), baseline_packets);
+  EXPECT_EQ(lcll.quantile(), 30040);
+}
+
+TEST(LcllTest, SlipWalksTowardTheQuantile) {
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll = MakeLcll(5, 0, 1023, LcllProtocol::RefineMode::kSlip);
+  std::vector<int64_t> values = {0,   100, 110, 120, 130,
+                                 140, 150, 160, 170, 180};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  EXPECT_EQ(lcll.quantile(), 140);
+  // Jump the whole field far upward: the window must slip several times
+  // (span = 64) to reach the new quantile around 940.
+  for (int v = 1; v < 10; ++v) values[static_cast<size_t>(v)] += 800;
+  net.BeginRound();
+  lcll.RunRound(&net, values, 1);
+  EXPECT_EQ(lcll.quantile(), 940);
+  EXPECT_GE(lcll.refinements_last_round(), 800 / 64);
+  EXPECT_LE(lcll.window_lo(), 940);
+  EXPECT_GT(lcll.window_hi(), 940);
+}
+
+TEST(LcllTest, HierarchicalRefocusIsLogarithmic) {
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll =
+      MakeLcll(5, 0, 65535, LcllProtocol::RefineMode::kHierarchical);
+  std::vector<int64_t> values = {0,   100, 110, 120, 130,
+                                 140, 150, 160, 170, 180};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  for (int v = 1; v < 10; ++v) values[static_cast<size_t>(v)] += 60000;
+  net.BeginRound();
+  lcll.RunRound(&net, values, 1);
+  EXPECT_EQ(lcll.quantile(), 60140);
+  // log_64(65536) ~ 2.7 drill exchanges + 1 zoom-out; far below a slip walk
+  // of 60000 / (64 * 16) ~ 58 steps.
+  EXPECT_LE(lcll.refinements_last_round(), 8);
+}
+
+TEST(LcllTest, SlipAndHierarchicalAgreeWithOracleUnderDrift) {
+  for (auto mode : {LcllProtocol::RefineMode::kHierarchical,
+                    LcllProtocol::RefineMode::kSlip}) {
+    Network net = MakeRandomNetwork(50, 25);
+    LcllProtocol lcll = MakeLcll(25, 0, 65535, mode);
+    Rng rng(31);
+    std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(30000, 32000);
+    }
+    for (int64_t round = 0; round <= 25; ++round) {
+      net.BeginRound();
+      lcll.RunRound(&net, values, round);
+      const auto sensors = SensorValues(net, values);
+      ASSERT_EQ(lcll.quantile(), OracleKth(sensors, 25))
+          << "mode " << static_cast<int>(mode) << " round " << round;
+      const RootCounts oracle = OracleCounts(sensors, lcll.quantile());
+      ASSERT_EQ(lcll.root_counts().l, oracle.l);
+      ASSERT_EQ(lcll.root_counts().e, oracle.e);
+      const int64_t shift = rng.UniformInt(-150, 150);
+      for (int v = 1; v < net.num_vertices(); ++v) {
+        values[static_cast<size_t>(v)] += shift + rng.UniformInt(-20, 20);
+        values[static_cast<size_t>(v)] = std::clamp<int64_t>(
+            values[static_cast<size_t>(v)], 0, 65535);
+      }
+    }
+  }
+}
+
+TEST(LcllTest, WideBucketsResolvedExactly) {
+  // Universe 2^20 forces bucket width 256 > 1: the critical bucket must be
+  // re-resolved with sub-drills / direct requests and stay exact.
+  Network net = MakeRandomNetwork(40, 29);
+  LcllProtocol lcll =
+      MakeLcll(20, 0, (1 << 20) - 1, LcllProtocol::RefineMode::kHierarchical);
+  Rng rng(77);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(500000, 510000);
+  }
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  EXPECT_EQ(lcll.bucket_width(), 256);
+  for (int64_t round = 1; round <= 15; ++round) {
+    // Shuffle *within* a narrow band: bucket-internal churn.
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] += rng.UniformInt(-100, 100);
+    }
+    net.BeginRound();
+    lcll.RunRound(&net, values, round);
+    ASSERT_EQ(lcll.quantile(), OracleKth(SensorValues(net, values), 20))
+        << "round " << round;
+  }
+}
+
+TEST(LcllTest, ClampedSlipWithWindowOverlap) {
+  // A downward slip from a window close to the universe floor is clamped
+  // to range_min, so the new window overlaps the old one — the most
+  // intricate branch of the slip bookkeeping. The internal consistency
+  // CHECKs (below + window + above == |N|) run in this non-lossy path.
+  Network net = MakeLineNetwork(10, 0);
+  LcllProtocol lcll = MakeLcll(5, 0, 1023, LcllProtocol::RefineMode::kSlip);
+  // Median 60: the window (span 64, width 1) sits near the floor.
+  std::vector<int64_t> values = {0, 40, 45, 50, 55, 60, 65, 70, 75, 80};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 0);
+  EXPECT_EQ(lcll.quantile(), 60);
+  ASSERT_GT(lcll.window_lo(), 0);
+  ASSERT_LT(lcll.window_lo(), 64);  // a down-slip must clamp and overlap
+  // Crash the field toward the floor: k-th drops below the window.
+  values = {0, 2, 4, 6, 8, 10, 12, 70, 75, 80};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 1);
+  EXPECT_EQ(lcll.quantile(), 10);
+  EXPECT_EQ(lcll.window_lo(), 0);
+  // And keep it exact afterwards (state stayed consistent).
+  values = {0, 3, 5, 7, 9, 11, 13, 70, 75, 80};
+  net.BeginRound();
+  lcll.RunRound(&net, values, 2);
+  EXPECT_EQ(lcll.quantile(), 11);
+}
+
+TEST(LcllTest, QuantileAtUniverseEdges) {
+  for (int64_t k : {int64_t{1}, int64_t{9}}) {
+    Network net = MakeLineNetwork(10, 0);
+    LcllProtocol lcll = MakeLcll(k, 0, 1023, LcllProtocol::RefineMode::kSlip);
+    std::vector<int64_t> values = {0, 0, 1, 2, 3, 1020, 1021, 1022, 1023, 512};
+    net.BeginRound();
+    lcll.RunRound(&net, values, 0);
+    EXPECT_EQ(lcll.quantile(), OracleKth(SensorValues(net, values), k));
+    // Swap extremes and re-check.
+    std::swap(values[1], values[8]);
+    net.BeginRound();
+    lcll.RunRound(&net, values, 1);
+    EXPECT_EQ(lcll.quantile(), OracleKth(SensorValues(net, values), k));
+  }
+}
+
+}  // namespace
+}  // namespace wsnq

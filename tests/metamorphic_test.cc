@@ -1,0 +1,250 @@
+// Metamorphic properties across protocols: relations the paper asserts or
+// implies that must hold between *pairs* of runs. These catch subtle
+// accounting and bookkeeping bugs no single-run oracle check can see.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/oracle.h"
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+// Drives one protocol over a scripted workload; returns (quantiles,
+// packets-per-round).
+struct RunTrace {
+  std::vector<int64_t> quantiles;
+  std::vector<int64_t> packets;
+  double total_energy = 0.0;
+};
+
+RunTrace Drive(AlgorithmKind kind, int sensors, uint64_t topo_seed,
+               const std::vector<std::vector<int64_t>>& sensor_rows,
+               int64_t range_min, int64_t range_max) {
+  Network net = MakeRandomNetwork(sensors, topo_seed);
+  auto protocol =
+      MakeProtocol(kind, sensors / 2, range_min, range_max, WireFormat{});
+  RunTrace trace;
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (size_t t = 0; t < sensor_rows.size(); ++t) {
+    int sensor = 0;
+    for (int v = 0; v < net.num_vertices(); ++v) {
+      if (net.is_root(v)) continue;
+      values[static_cast<size_t>(v)] = sensor_rows[t][static_cast<size_t>(
+          sensor++)];
+    }
+    net.BeginRound();
+    protocol->RunRound(&net, values, static_cast<int64_t>(t));
+    trace.quantiles.push_back(protocol->quantile());
+    trace.packets.push_back(net.round_packets());
+  }
+  trace.total_energy = net.MaxTotalEnergyOverSensors();
+  return trace;
+}
+
+std::vector<std::vector<int64_t>> RandomRows(int rounds, int sensors,
+                                             int64_t lo, int64_t hi,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> rows;
+  std::vector<int64_t> row(static_cast<size_t>(sensors));
+  for (auto& v : row) v = rng.UniformInt(lo + (hi - lo) / 3,
+                                         hi - (hi - lo) / 3);
+  for (int t = 0; t < rounds; ++t) {
+    for (auto& v : row) {
+      v = std::clamp<int64_t>(v + rng.UniformInt(-9, 9), lo, hi);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+constexpr AlgorithmKind kExactKinds[] = {
+    AlgorithmKind::kTag,    AlgorithmKind::kPos,   AlgorithmKind::kHbc,
+    AlgorithmKind::kHbcNtb, AlgorithmKind::kIq,    AlgorithmKind::kLcllH,
+    AlgorithmKind::kLcllS,
+};
+
+TEST(MetamorphicTest, TranslationEquivariance) {
+  // Shifting every measurement (and the universe) by a constant shifts the
+  // answer by the same constant and changes nothing else observable.
+  const auto rows = RandomRows(25, 40, 0, 2000, 11);
+  auto shifted_rows = rows;
+  for (auto& row : shifted_rows) {
+    for (auto& v : row) v += 500;
+  }
+  for (AlgorithmKind kind : kExactKinds) {
+    const RunTrace base = Drive(kind, 40, 21, rows, 0, 2047);
+    const RunTrace shifted =
+        Drive(kind, 40, 21, shifted_rows, 500, 2547);
+    ASSERT_EQ(base.quantiles.size(), shifted.quantiles.size());
+    for (size_t t = 0; t < base.quantiles.size(); ++t) {
+      EXPECT_EQ(base.quantiles[t] + 500, shifted.quantiles[t])
+          << AlgorithmName(kind) << " round " << t;
+    }
+    EXPECT_EQ(base.packets, shifted.packets) << AlgorithmName(kind);
+  }
+}
+
+TEST(MetamorphicTest, UniverseStretchSeparatesTheComplexityClasses) {
+  // Stretch all values AND the universe by 16x. Answers must scale exactly
+  // for every exact protocol; traffic separates the classes the paper
+  // describes: TAG (O(|N|) values) and IQ (O(|N|) values, at most one
+  // value-fetching refinement) are scale-free, while POS (O(log2 r)
+  // bisections) and the histogram methods (O(log_b r) drills) pay for the
+  // larger universe.
+  const auto rows = RandomRows(25, 40, 0, 4000, 13);
+  auto stretched = rows;
+  for (auto& row : stretched) {
+    for (auto& v : row) v *= 16;
+  }
+  auto total_packets = [](const RunTrace& trace) {
+    int64_t total = 0;
+    for (int64_t p : trace.packets) total += p;
+    return total;
+  };
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTag, AlgorithmKind::kPos, AlgorithmKind::kIq,
+        AlgorithmKind::kHbc}) {
+    const RunTrace base = Drive(kind, 40, 23, rows, 0, 4095);
+    const RunTrace wide = Drive(kind, 40, 23, stretched, 0, 65535);
+    for (size_t t = 0; t < base.quantiles.size(); ++t) {
+      ASSERT_EQ(base.quantiles[t] * 16, wide.quantiles[t])
+          << AlgorithmName(kind) << " round " << t;
+    }
+    const int64_t base_total = total_packets(base);
+    const int64_t wide_total = total_packets(wide);
+    switch (kind) {
+      case AlgorithmKind::kTag:
+        // Bit-for-bit scale invariant.
+        EXPECT_EQ(base.packets, wide.packets);
+        break;
+      case AlgorithmKind::kIq:
+        // Window-boundary roundings may shift a packet or two.
+        EXPECT_LE(wide_total, base_total * 11 / 10 + 8);
+        EXPECT_GE(wide_total, base_total * 9 / 10 - 8);
+        break;
+      case AlgorithmKind::kPos:
+        // log2(16) = 4 extra bisections per refinement: clearly costlier.
+        EXPECT_GT(wide_total, base_total);
+        break;
+      default:  // HBC: log_b(16) extra drill levels, never cheaper.
+        EXPECT_GE(wide_total, base_total);
+        break;
+    }
+  }
+}
+
+TEST(MetamorphicTest, NegationFlipsRankSymmetrically) {
+  // The k-th smallest of x equals the negation of the (N-k+1)-th smallest
+  // of -x. Run rank k on values and rank N-k+1 on mirrored values.
+  const int sensors = 41;
+  const int64_t k = 12;
+  const auto rows = RandomRows(20, sensors, 0, 1000, 19);
+  auto mirrored = rows;
+  for (auto& row : mirrored) {
+    for (auto& v : row) v = 1023 - v;
+  }
+  Network net_a = MakeRandomNetwork(sensors, 31);
+  Network net_b = MakeRandomNetwork(sensors, 31);
+  auto a = MakeProtocol(AlgorithmKind::kIq, k, 0, 1023, WireFormat{});
+  auto b = MakeProtocol(AlgorithmKind::kIq, sensors - k + 1, 0, 1023,
+                        WireFormat{});
+  std::vector<int64_t> va(static_cast<size_t>(net_a.num_vertices()), 0);
+  std::vector<int64_t> vb(static_cast<size_t>(net_b.num_vertices()), 0);
+  for (size_t t = 0; t < rows.size(); ++t) {
+    int sensor = 0;
+    for (int v = 0; v < net_a.num_vertices(); ++v) {
+      if (net_a.is_root(v)) continue;
+      va[static_cast<size_t>(v)] = rows[t][static_cast<size_t>(sensor)];
+      vb[static_cast<size_t>(v)] = mirrored[t][static_cast<size_t>(sensor)];
+      ++sensor;
+    }
+    net_a.BeginRound();
+    net_b.BeginRound();
+    a->RunRound(&net_a, va, static_cast<int64_t>(t));
+    b->RunRound(&net_b, vb, static_cast<int64_t>(t));
+    EXPECT_EQ(a->quantile(), 1023 - b->quantile()) << "round " << t;
+  }
+}
+
+TEST(MetamorphicTest, BiggerHeadersNeverCheaper) {
+  const auto rows = RandomRows(20, 30, 0, 1000, 23);
+  auto energy_with_header = [&](int64_t header_bytes) {
+    Rng rng(37);
+    auto placement = ConnectedPlacement(31, 200.0, 200.0, 60.0, &rng);
+    Packetizer packetizer;
+    packetizer.header_bits = header_bytes * 8;
+    auto net_or = Network::Create(RadioGraph(placement.value(), 60.0), 0,
+                                  EnergyModel{}, packetizer);
+    Network net = std::move(net_or).value();
+    auto protocol =
+        MakeProtocol(AlgorithmKind::kHbc, 15, 0, 1023, WireFormat{});
+    std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+    for (size_t t = 0; t < rows.size(); ++t) {
+      int sensor = 0;
+      for (int v = 0; v < net.num_vertices(); ++v) {
+        if (net.is_root(v)) continue;
+        values[static_cast<size_t>(v)] =
+            rows[t][static_cast<size_t>(sensor++)];
+      }
+      net.BeginRound();
+      protocol->RunRound(&net, values, static_cast<int64_t>(t));
+    }
+    return net.MaxTotalEnergyOverSensors();
+  };
+  EXPECT_LE(energy_with_header(8), energy_with_header(64));
+}
+
+TEST(MetamorphicTest, RootChoiceChangesCostNotAnswer) {
+  const auto rows = RandomRows(20, 30, 0, 1000, 29);
+  // Same placement, two different roots: answers identical, energy not
+  // necessarily.
+  Rng rng(41);
+  auto placement = ConnectedPlacement(31, 200.0, 200.0, 60.0, &rng);
+  auto make_net = [&](int root) {
+    auto net_or = Network::Create(RadioGraph(placement.value(), 60.0), root,
+                                  EnergyModel{}, Packetizer{});
+    return std::move(net_or).value();
+  };
+  for (AlgorithmKind kind : {AlgorithmKind::kHbc, AlgorithmKind::kIq}) {
+    Network net_a = make_net(0);
+    Network net_b = make_net(17);
+    auto a = MakeProtocol(kind, 15, 0, 1023, WireFormat{});
+    auto b = MakeProtocol(kind, 15, 0, 1023, WireFormat{});
+    std::vector<int64_t> va(31, 0), vb(31, 0);
+    for (size_t t = 0; t < rows.size(); ++t) {
+      int sa = 0, sb = 0;
+      for (int v = 0; v < 31; ++v) {
+        if (!net_a.is_root(v)) {
+          va[static_cast<size_t>(v)] = rows[t][static_cast<size_t>(sa++)];
+        }
+        if (!net_b.is_root(v)) {
+          vb[static_cast<size_t>(v)] = rows[t][static_cast<size_t>(sb++)];
+        }
+      }
+      net_a.BeginRound();
+      net_b.BeginRound();
+      a->RunRound(&net_a, va, static_cast<int64_t>(t));
+      b->RunRound(&net_b, vb, static_cast<int64_t>(t));
+      // Note: the two networks host *almost* the same multiset (one sensor
+      // differs: the root takes no measurement), so compare each against
+      // its own oracle rather than against each other.
+      ASSERT_EQ(a->quantile(), OracleKth(SensorValues(net_a, va), 15));
+      ASSERT_EQ(b->quantile(), OracleKth(SensorValues(net_b, vb), 15));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsnq

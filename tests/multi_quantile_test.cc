@@ -1,0 +1,144 @@
+// Multi-quantile extension: all tracked ranks stay exact every round, and
+// the shared convergecast beats independent per-rank queries on packets.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/iq.h"
+#include "algo/multi_quantile.h"
+#include "algo/oracle.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+TEST(MultiIqTest, AllRanksExactUnderDrift) {
+  Network net = MakeRandomNetwork(60, 81);
+  const std::vector<int64_t> ks = {15, 30, 45};  // quartiles of 60
+  MultiIqProtocol protocol(ks, 0, 4095, WireFormat{}, {});
+  Rng rng(3);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(1500, 2500);
+  }
+  for (int64_t round = 0; round <= 30; ++round) {
+    net.BeginRound();
+    protocol.RunRound(&net, values, round);
+    const auto sensors = SensorValues(net, values);
+    for (int i = 0; i < protocol.num_ranks(); ++i) {
+      ASSERT_EQ(protocol.quantile(i), OracleKth(sensors, protocol.rank(i)))
+          << "rank " << protocol.rank(i) << " round " << round;
+    }
+    const int64_t shift = rng.UniformInt(-25, 25);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = std::clamp<int64_t>(
+          values[static_cast<size_t>(v)] + shift + rng.UniformInt(-10, 10),
+          0, 4095);
+    }
+  }
+}
+
+TEST(MultiIqTest, ExactUnderChaosToo) {
+  Network net = MakeRandomNetwork(40, 83);
+  MultiIqProtocol protocol({4, 20, 37}, 0, 255, WireFormat{}, {});
+  Rng rng(7);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 25; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(0, 255);
+    }
+    net.BeginRound();
+    protocol.RunRound(&net, values, round);
+    const auto sensors = SensorValues(net, values);
+    for (int i = 0; i < protocol.num_ranks(); ++i) {
+      ASSERT_EQ(protocol.quantile(i), OracleKth(sensors, protocol.rank(i)))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(MultiIqTest, SingleRankMatchesPlainIq) {
+  // With one rank the shared machinery degenerates to plain IQ: same
+  // answers on the same workload.
+  Network net_multi = MakeRandomNetwork(50, 85);
+  Network net_plain = MakeRandomNetwork(50, 85);
+  MultiIqProtocol multi({25}, 0, 2047, WireFormat{}, {});
+  IqProtocol plain(25, 0, 2047, WireFormat{}, {});
+  Rng rng(9);
+  std::vector<int64_t> values(static_cast<size_t>(net_multi.num_vertices()),
+                              0);
+  for (int v = 1; v < net_multi.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(900, 1100);
+  }
+  for (int64_t round = 0; round <= 20; ++round) {
+    net_multi.BeginRound();
+    net_plain.BeginRound();
+    multi.RunRound(&net_multi, values, round);
+    plain.RunRound(&net_plain, values, round);
+    ASSERT_EQ(multi.quantile(0), plain.quantile()) << "round " << round;
+    for (int v = 1; v < net_multi.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] += rng.UniformInt(-4, 4);
+    }
+  }
+}
+
+TEST(MultiIqTest, SharedConvergecastBeatsIndependentQueries) {
+  // Three ranks tracked together vs three separate IQ queries over the
+  // same topology and workload: the shared variant pays fewer packets
+  // (headers amortized) — the point of the extension.
+  const std::vector<int64_t> ks = {12, 25, 38};
+  Rng workload_rng(11);
+  std::vector<std::vector<int64_t>> rows;
+  {
+    std::vector<int64_t> row(50);
+    for (auto& v : row) v = workload_rng.UniformInt(1000, 1400);
+    for (int t = 0; t <= 40; ++t) {
+      for (auto& v : row) {
+        v = std::clamp<int64_t>(v + workload_rng.UniformInt(-6, 6), 0, 2047);
+      }
+      rows.push_back(row);
+    }
+  }
+  auto fill = [&](const Network& net, int64_t t,
+                  std::vector<int64_t>* values) {
+    int sensor = 0;
+    for (int v = 0; v < net.num_vertices(); ++v) {
+      if (!net.is_root(v)) {
+        (*values)[static_cast<size_t>(v)] =
+            rows[static_cast<size_t>(t)][static_cast<size_t>(sensor++)];
+      }
+    }
+  };
+
+  Network shared_net = MakeRandomNetwork(50, 87);
+  MultiIqProtocol shared(ks, 0, 2047, WireFormat{}, {});
+  std::vector<int64_t> values(static_cast<size_t>(shared_net.num_vertices()),
+                              0);
+  for (int64_t t = 0; t <= 40; ++t) {
+    fill(shared_net, t, &values);
+    shared_net.BeginRound();
+    shared.RunRound(&shared_net, values, t);
+  }
+  const int64_t shared_packets = shared_net.total_packets();
+
+  int64_t independent_packets = 0;
+  for (int64_t k : ks) {
+    Network net = MakeRandomNetwork(50, 87);
+    IqProtocol iq(k, 0, 2047, WireFormat{}, {});
+    for (int64_t t = 0; t <= 40; ++t) {
+      fill(net, t, &values);
+      net.BeginRound();
+      iq.RunRound(&net, values, t);
+    }
+    independent_packets += net.total_packets();
+  }
+  EXPECT_LT(shared_packets, independent_packets);
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -1,0 +1,135 @@
+// Exactness across the protocols' full option grids: every configuration a
+// user can construct must stay exact, not just the evaluation defaults.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/hbc.h"
+#include "algo/iq.h"
+#include "algo/lcll.h"
+#include "algo/oracle.h"
+#include "algo/pos.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+// Shared workload driver: runs `protocol` for 25 rounds of drifting values
+// and asserts exactness each round.
+void DriveAndCheck(QuantileProtocol* protocol, int64_t k, uint64_t seed) {
+  Network net = MakeRandomNetwork(45, 500 + seed);
+  Rng rng(seed);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(1500, 2500);
+  }
+  for (int64_t round = 0; round <= 25; ++round) {
+    net.BeginRound();
+    protocol->RunRound(&net, values, round);
+    ASSERT_EQ(protocol->quantile(),
+              OracleKth(SensorValues(net, values), k))
+        << protocol->name() << " round " << round;
+    const int64_t shift = rng.UniformInt(-60, 60);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = std::clamp<int64_t>(
+          values[static_cast<size_t>(v)] + shift + rng.UniformInt(-15, 15),
+          0, 4095);
+    }
+  }
+}
+
+class IqGrid : public ::testing::TestWithParam<
+                   std::tuple<int, IqProtocol::InitStrategy, bool, double>> {
+};
+
+TEST_P(IqGrid, Exact) {
+  const auto [m, strategy, hints, c] = GetParam();
+  IqProtocol::Options options;
+  options.m = m;
+  options.init_strategy = strategy;
+  options.use_hints = hints;
+  options.init_c = c;
+  IqProtocol iq(22, 0, 4095, WireFormat{}, options);
+  DriveAndCheck(&iq, 22, static_cast<uint64_t>(m) * 10 + hints);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IqGrid,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 6, 16),
+        ::testing::Values(IqProtocol::InitStrategy::kMeanGap,
+                          IqProtocol::InitStrategy::kMedianGap),
+        ::testing::Bool(), ::testing::Values(0.5, 1.0, 4.0)));
+
+class HbcGrid
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool, bool>> {};
+
+TEST_P(HbcGrid, Exact) {
+  const auto [buckets, direct, ntb, hints] = GetParam();
+  HbcProtocol::Options options;
+  options.buckets = buckets;
+  options.direct_retrieval = direct;
+  options.eliminate_threshold_broadcast = ntb;
+  options.use_hints = hints;
+  HbcProtocol hbc(22, 0, 4095, WireFormat{}, options);
+  DriveAndCheck(&hbc, 22,
+                static_cast<uint64_t>(buckets) * 8 + direct * 4 + ntb * 2 +
+                    hints);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HbcGrid,
+                         ::testing::Combine(::testing::Values(0, 2, 3, 16,
+                                                              64),
+                                            ::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+class LcllGrid : public ::testing::TestWithParam<
+                     std::tuple<LcllProtocol::RefineMode, int, int64_t,
+                                bool>> {};
+
+TEST_P(LcllGrid, Exact) {
+  const auto [mode, buckets, width, direct] = GetParam();
+  LcllProtocol::Options options;
+  options.mode = mode;
+  options.buckets = buckets;
+  options.bucket_width = width;
+  options.direct_retrieval = direct;
+  LcllProtocol lcll(22, 0, 4095, WireFormat{}, options);
+  DriveAndCheck(&lcll, 22,
+                static_cast<uint64_t>(buckets) * 16 +
+                    static_cast<uint64_t>(width) * 2 + direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LcllGrid,
+    ::testing::Combine(::testing::Values(LcllProtocol::RefineMode::kHierarchical,
+                                         LcllProtocol::RefineMode::kSlip),
+                       ::testing::Values(0, 8, 16),
+                       ::testing::Values<int64_t>(0, 1, 7, 64),
+                       ::testing::Bool()));
+
+class PosGrid : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(PosGrid, Exact) {
+  const auto [hints, direct] = GetParam();
+  PosProtocol::Options options;
+  options.use_hints = hints;
+  options.direct_send = direct;
+  PosProtocol pos(22, 0, 4095, WireFormat{}, options);
+  DriveAndCheck(&pos, 22, static_cast<uint64_t>(hints) * 2 + direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PosGrid,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace wsnq

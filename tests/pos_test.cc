@@ -1,0 +1,199 @@
+// POS protocol behaviour (§3.2): silence when the filter stays valid,
+// binary-search refinement when it does not, hint-bounded intervals, and
+// the direct-send shortcut.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/oracle.h"
+#include "algo/pos.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeLineNetwork;
+using testing_support::MakeRandomNetwork;
+
+PosProtocol MakePos(int64_t k, int64_t lo, int64_t hi,
+                    PosProtocol::Options options = {}) {
+  return PosProtocol(k, lo, hi, WireFormat{}, options);
+}
+
+TEST(PosTest, InitializationComputesExactQuantileAndCounts) {
+  Network net = MakeLineNetwork(8, 0);
+  PosProtocol pos = MakePos(4, 0, 100);
+  std::vector<int64_t> values = {0, 10, 20, 30, 40, 50, 60, 70};
+  net.BeginRound();
+  pos.RunRound(&net, values, 0);
+  EXPECT_EQ(pos.quantile(), 40);
+  EXPECT_EQ(pos.root_counts().l, 3);
+  EXPECT_EQ(pos.root_counts().e, 1);
+  EXPECT_EQ(pos.root_counts().g, 3);
+}
+
+TEST(PosTest, SilentRoundWhenNothingMoves) {
+  Network net = MakeLineNetwork(8, 0);
+  PosProtocol pos = MakePos(4, 0, 100);
+  std::vector<int64_t> values = {0, 10, 20, 30, 40, 50, 60, 70};
+  net.BeginRound();
+  pos.RunRound(&net, values, 0);
+  net.BeginRound();
+  pos.RunRound(&net, values, 1);
+  EXPECT_EQ(net.round_packets(), 0);
+  EXPECT_EQ(pos.quantile(), 40);
+  EXPECT_EQ(pos.refinements_last_round(), 0);
+}
+
+TEST(PosTest, ValuesMovingWithinRegionsStaySilent) {
+  Network net = MakeLineNetwork(6, 0);
+  PosProtocol pos = MakePos(3, 0, 1000);
+  net.BeginRound();
+  pos.RunRound(&net, {0, 100, 200, 300, 400, 500}, 0);
+  EXPECT_EQ(pos.quantile(), 300);
+  // Every value moves, but none crosses the filter: no traffic at all.
+  net.BeginRound();
+  pos.RunRound(&net, {0, 150, 250, 300, 450, 999}, 1);
+  EXPECT_EQ(net.round_packets(), 0);
+  EXPECT_EQ(pos.quantile(), 300);
+}
+
+TEST(PosTest, TracksDriftExactly) {
+  Network net = MakeRandomNetwork(40, 11);
+  PosProtocol pos = MakePos(20, 0, 4095);
+  Rng rng(99);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int v = 1; v < net.num_vertices(); ++v) {
+    values[static_cast<size_t>(v)] = rng.UniformInt(1000, 2000);
+  }
+  for (int64_t round = 0; round <= 30; ++round) {
+    net.BeginRound();
+    pos.RunRound(&net, values, round);
+    const auto sensors = SensorValues(net, values);
+    ASSERT_EQ(pos.quantile(), OracleKth(sensors, 20)) << "round " << round;
+    const RootCounts oracle = OracleCounts(sensors, pos.quantile());
+    EXPECT_EQ(pos.root_counts().l, oracle.l);
+    EXPECT_EQ(pos.root_counts().e, oracle.e);
+    EXPECT_EQ(pos.root_counts().g, oracle.g);
+    // Drift every value upward a little.
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] += rng.UniformInt(0, 20);
+    }
+  }
+}
+
+TEST(PosTest, HintsShrinkRefinementWork) {
+  // Same drifting workload with and without hints: hints must not change
+  // answers but must reduce refinement iterations.
+  auto run = [](bool hints) {
+    Network net = MakeRandomNetwork(60, 17);
+    PosProtocol::Options options;
+    options.use_hints = hints;
+    options.direct_send = false;
+    PosProtocol pos = MakePos(30, 0, 65535, options);
+    Rng rng(5);
+    std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] = rng.UniformInt(30000, 31000);
+    }
+    int64_t refinements = 0;
+    for (int64_t round = 0; round <= 20; ++round) {
+      net.BeginRound();
+      pos.RunRound(&net, values, round);
+      refinements += pos.refinements_last_round();
+      for (int v = 1; v < net.num_vertices(); ++v) {
+        values[static_cast<size_t>(v)] += rng.UniformInt(0, 60);
+      }
+    }
+    return refinements;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(PosTest, DirectSendShortCircuitsTheSearch) {
+  // A big jump by one node within a small candidate set: after one bisection
+  // pins the boundary counts, direct sends finish the round immediately
+  // instead of bisecting log2(interval) more times.
+  Network net = MakeLineNetwork(10, 0);
+  PosProtocol::Options with;
+  with.direct_send = true;
+  PosProtocol pos = MakePos(5, 0, 65535, with);
+  std::vector<int64_t> values = {0,    100,  200,  300,  400,
+                                 500,  600,  700,  800,  900};
+  net.BeginRound();
+  pos.RunRound(&net, values, 0);
+  EXPECT_EQ(pos.quantile(), 500);
+  values[9] = 150;  // 900 -> 150: median moves down to 400
+  net.BeginRound();
+  pos.RunRound(&net, values, 1);
+  EXPECT_EQ(pos.quantile(), 400);
+  EXPECT_LE(pos.refinements_last_round(), 2);
+}
+
+TEST(PosTest, BinarySearchWithoutDirectSendStillExact) {
+  Network net = MakeLineNetwork(10, 0);
+  PosProtocol::Options options;
+  options.direct_send = false;
+  PosProtocol pos = MakePos(5, 0, 65535, options);
+  std::vector<int64_t> values = {0,    100,  200,  300,  400,
+                                 500,  600,  700,  800,  900};
+  net.BeginRound();
+  pos.RunRound(&net, values, 0);
+  values[9] = 150;
+  net.BeginRound();
+  pos.RunRound(&net, values, 1);
+  EXPECT_EQ(pos.quantile(), 400);
+  EXPECT_GE(pos.refinements_last_round(), 1);
+}
+
+TEST(PosTest, ExtremeRanksWork) {
+  for (int64_t k : {int64_t{1}, int64_t{7}}) {
+    Network net = MakeLineNetwork(8, 0);
+    PosProtocol pos = MakePos(k, 0, 1023);
+    Rng rng(k);
+    std::vector<int64_t> values(8, 0);
+    for (int64_t round = 0; round <= 15; ++round) {
+      for (int v = 1; v < 8; ++v) {
+        values[static_cast<size_t>(v)] = rng.UniformInt(0, 1023);
+      }
+      net.BeginRound();
+      pos.RunRound(&net, values, round);
+      ASSERT_EQ(pos.quantile(), OracleKth(SensorValues(net, values), k))
+          << "k=" << k << " round=" << round;
+    }
+  }
+}
+
+TEST(PosTest, AllValuesEqual) {
+  Network net = MakeLineNetwork(6, 0);
+  PosProtocol pos = MakePos(3, 0, 100);
+  std::vector<int64_t> values = {0, 42, 42, 42, 42, 42};
+  net.BeginRound();
+  pos.RunRound(&net, values, 0);
+  EXPECT_EQ(pos.quantile(), 42);
+  // Everyone jumps to another common value.
+  std::fill(values.begin() + 1, values.end(), 7);
+  net.BeginRound();
+  pos.RunRound(&net, values, 1);
+  EXPECT_EQ(pos.quantile(), 7);
+}
+
+TEST(PosTest, AlternatingJumpsBetweenBounds) {
+  Network net = MakeLineNetwork(6, 0);
+  PosProtocol pos = MakePos(3, 0, 1023);
+  std::vector<int64_t> low = {0, 1, 2, 3, 4, 5};
+  std::vector<int64_t> high = {0, 1019, 1020, 1021, 1022, 1023};
+  net.BeginRound();
+  pos.RunRound(&net, low, 0);
+  for (int64_t round = 1; round <= 10; ++round) {
+    const auto& values = (round % 2 == 1) ? high : low;
+    net.BeginRound();
+    pos.RunRound(&net, values, round);
+    ASSERT_EQ(pos.quantile(), OracleKth(SensorValues(net, values), 3));
+  }
+}
+
+}  // namespace
+}  // namespace wsnq

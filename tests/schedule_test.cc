@@ -1,0 +1,99 @@
+// TDMA schedule: interference freedom, frame bounds, and latency formulas.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/schedule.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeLineNetwork;
+using testing_support::MakeRandomNetwork;
+
+TEST(ScheduleTest, LineNetworkUsesThreeSlots) {
+  // On a line, the two-hop interference graph is a path power-graph: the
+  // chromatic number is exactly 3 (for length >= 3).
+  Network net = MakeLineNetwork(12, 0);
+  TdmaSchedule schedule(net.graph(), net.tree());
+  EXPECT_TRUE(schedule.IsInterferenceFree(net.graph()));
+  EXPECT_EQ(schedule.frame_length(), 3);
+}
+
+TEST(ScheduleTest, RandomTopologiesAreInterferenceFree) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Network net = MakeRandomNetwork(80, 300 + seed, 45.0);
+    TdmaSchedule schedule(net.graph(), net.tree());
+    EXPECT_TRUE(schedule.IsInterferenceFree(net.graph())) << seed;
+    // Greedy coloring uses at most (max two-hop degree + 1) slots.
+    size_t max_two_hop = 0;
+    for (int v = 0; v < net.num_vertices(); ++v) {
+      size_t reach = net.graph().neighbors(v).size();
+      for (int u : net.graph().neighbors(v)) {
+        reach += net.graph().neighbors(u).size();
+      }
+      max_two_hop = std::max(max_two_hop, reach);
+    }
+    EXPECT_LE(schedule.frame_length(),
+              static_cast<int>(max_two_hop) + 1);
+  }
+}
+
+TEST(ScheduleTest, DenserNetworksNeedLongerFrames) {
+  Network sparse = MakeRandomNetwork(100, 311, 25.0);
+  Network dense = MakeRandomNetwork(100, 311, 70.0);
+  TdmaSchedule s(sparse.graph(), sparse.tree());
+  TdmaSchedule d(dense.graph(), dense.tree());
+  EXPECT_LT(s.frame_length(), d.frame_length());
+}
+
+TEST(ScheduleTest, LatencyFormulasOnLine) {
+  // Line 0-1-2-3-4 rooted at 0: depth 4, frame 3.
+  Network net = MakeLineNetwork(5, 0);
+  TdmaSchedule schedule(net.graph(), net.tree());
+  // Convergecast: 4 depth levels pipeline over 4 frames.
+  EXPECT_GT(schedule.ConvergecastSlots(), 0);
+  EXPECT_LE(schedule.ConvergecastSlots(),
+            4 * schedule.frame_length());
+  // Flood: internal nodes 0..3 transmit in frames 0..3.
+  EXPECT_GT(schedule.FloodSlots(), 0);
+  EXPECT_LE(schedule.FloodSlots(), 4 * schedule.frame_length());
+}
+
+TEST(ScheduleTest, DeeperTreesTakeLonger) {
+  // A long line (depth ~ n) versus a dense blob (depth ~ 2): convergecast
+  // latency must reflect the depth.
+  Network line = MakeLineNetwork(30, 0);
+  Network blob = MakeRandomNetwork(29, 321, 150.0);  // nearly complete
+  TdmaSchedule sl(line.graph(), line.tree());
+  TdmaSchedule sb(blob.graph(), blob.tree());
+  // Latency normalized by frame length isolates the depth effect.
+  const double line_frames =
+      static_cast<double>(sl.ConvergecastSlots()) / sl.frame_length();
+  const double blob_frames =
+      static_cast<double>(sb.ConvergecastSlots()) / sb.frame_length();
+  EXPECT_GT(line_frames, blob_frames);
+}
+
+TEST(ScheduleTest, ExchangeCountersTrackProtocolActivity) {
+  // The Network counts floods and convergecast waves so benches can turn a
+  // round into slots; sanity-check against a known protocol round.
+  Network net = MakeLineNetwork(8, 0);
+  net.BeginRound();
+  net.FloodFromRoot(16);
+  EXPECT_EQ(net.round_floods(), 1);
+  net.NoteConvergecast();
+  EXPECT_EQ(net.round_convergecasts(), 1);
+  net.BeginRound();
+  EXPECT_EQ(net.round_floods(), 0);
+  EXPECT_EQ(net.round_convergecasts(), 0);
+  EXPECT_EQ(net.total_floods(), 1);
+  EXPECT_EQ(net.total_convergecasts(), 1);
+}
+
+}  // namespace
+}  // namespace wsnq

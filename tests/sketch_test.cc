@@ -1,0 +1,214 @@
+// Quantile sketch substrates: q-digest and Greenwald-Khanna summaries.
+// Property-style sweeps verify the advertised error bounds, mergeability,
+// and size bounds over randomized inputs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/gk_summary.h"
+#include "sketch/qdigest.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+int64_t TrueRankError(const std::vector<int64_t>& data, int64_t reported,
+                      int64_t k) {
+  int64_t less = 0, equal = 0;
+  for (int64_t v : data) {
+    less += v < reported;
+    equal += v == reported;
+  }
+  if (k <= less) return less + 1 - k;
+  if (k > less + equal) return k - (less + equal);
+  return 0;
+}
+
+TEST(QDigestTest, ExactForTinyInputs) {
+  QDigest digest(10, 1000);  // compression way above the input size
+  const std::vector<int64_t> data = {5, 1, 9, 1, 700, 3};
+  for (int64_t v : data) digest.Add(v);
+  std::vector<int64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(digest.QueryQuantile(static_cast<int64_t>(i + 1)), sorted[i]);
+  }
+}
+
+TEST(QDigestTest, TotalAndBoundsTracked) {
+  QDigest digest(8, 4);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) digest.Add(rng.UniformInt(0, 255));
+  EXPECT_EQ(digest.total(), 500);
+  EXPECT_GT(digest.ErrorBound(), 0);
+}
+
+class QDigestSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int>> {};
+
+TEST_P(QDigestSweep, ErrorWithinBound) {
+  const auto [height, compression, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  QDigest digest(height, compression);
+  std::vector<int64_t> data;
+  const int64_t universe = (int64_t{1} << height) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    // Mixture of clustered and uniform values.
+    const int64_t v = rng.Bernoulli(0.5)
+                          ? rng.UniformInt(0, universe)
+                          : rng.UniformInt(universe / 3, universe / 3 + 10);
+    data.push_back(v);
+    digest.Add(v);
+  }
+  for (int64_t k : {int64_t{1}, int64_t{500}, int64_t{1000}, int64_t{1999}}) {
+    const int64_t reported = digest.QueryQuantile(k);
+    EXPECT_LE(TrueRankError(data, reported, k), digest.ErrorBound())
+        << "height=" << height << " compression=" << compression
+        << " k=" << k;
+  }
+  // Size bound: O(compression * height) nodes.
+  EXPECT_LE(digest.size(), 3 * compression * height + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QDigestSweep,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values<int64_t>(8, 32, 128),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(QDigestTest, MergeEquivalentToUnion) {
+  Rng rng(7);
+  QDigest a(10, 16), b(10, 16), whole(10, 16);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(0, 1023);
+    data.push_back(v);
+    (i % 2 == 0 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 1000);
+  // The merged digest obeys the same error bound as a directly-built one.
+  for (int64_t k : {int64_t{100}, int64_t{500}, int64_t{900}}) {
+    EXPECT_LE(TrueRankError(data, a.QueryQuantile(k), k), a.ErrorBound());
+  }
+}
+
+TEST(QDigestTest, CascadedMergesStayBounded) {
+  // Tree-style aggregation: 64 leaf digests merged pairwise like a
+  // convergecast would.
+  Rng rng(9);
+  std::vector<int64_t> data;
+  std::vector<QDigest> layer;
+  for (int leaf = 0; leaf < 64; ++leaf) {
+    QDigest d(12, 32);
+    for (int i = 0; i < 40; ++i) {
+      const int64_t v = rng.UniformInt(0, 4095);
+      data.push_back(v);
+      d.Add(v);
+    }
+    layer.push_back(d);
+  }
+  while (layer.size() > 1) {
+    std::vector<QDigest> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      layer[i].Merge(layer[i + 1]);
+      next.push_back(layer[i]);
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  const int64_t k = static_cast<int64_t>(data.size()) / 2;
+  EXPECT_LE(TrueRankError(data, layer[0].QueryQuantile(k), k),
+            layer[0].ErrorBound());
+}
+
+TEST(GkSummaryTest, ExactForTinyInputs) {
+  GkSummary summary(0.1);
+  const std::vector<int64_t> data = {42, 7, 99, 7, 13};
+  for (int64_t v : data) summary.Add(v);
+  std::vector<int64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  // With n * epsilon < 1 every answer must be exact.
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(TrueRankError(data,
+                            summary.QueryQuantile(static_cast<int64_t>(i + 1)),
+                            static_cast<int64_t>(i + 1)),
+              0);
+  }
+}
+
+class GkSweep : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GkSweep, ErrorWithinEpsilonN) {
+  const auto [epsilon, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  GkSummary summary(epsilon);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t v = rng.UniformInt(0, 100000);
+    data.push_back(v);
+    summary.Add(v);
+  }
+  const int64_t budget = static_cast<int64_t>(
+      std::ceil(epsilon * static_cast<double>(data.size()))) + 1;
+  for (int64_t k : {int64_t{1}, int64_t{750}, int64_t{1500}, int64_t{2999}}) {
+    EXPECT_LE(TrueRankError(data, summary.QueryQuantile(k), k), budget)
+        << "epsilon=" << epsilon << " k=" << k;
+  }
+  // Summary stays small: O(1/epsilon) tuples after compression.
+  EXPECT_LE(summary.size(), static_cast<int>(8.0 / epsilon) + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GkSweep,
+                         ::testing::Combine(::testing::Values(0.01, 0.05,
+                                                              0.1),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(GkSummaryTest, TreeMergeKeepsUsableError) {
+  // Convergecast-style merging: error grows with merge depth but stays a
+  // small multiple of epsilon * N.
+  Rng rng(11);
+  std::vector<int64_t> data;
+  std::vector<GkSummary> layer;
+  for (int leaf = 0; leaf < 32; ++leaf) {
+    GkSummary s(0.05);
+    for (int i = 0; i < 50; ++i) {
+      const int64_t v = rng.UniformInt(0, 65535);
+      data.push_back(v);
+      s.Add(v);
+    }
+    layer.push_back(s);
+  }
+  while (layer.size() > 1) {
+    std::vector<GkSummary> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      layer[i].Merge(layer[i + 1]);
+      next.push_back(layer[i]);
+    }
+    layer = std::move(next);
+  }
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int64_t k = n / 2;
+  // Depth-5 merge tree: allow a generous constant times epsilon * N.
+  EXPECT_LE(TrueRankError(data, layer[0].QueryQuantile(k), k),
+            static_cast<int64_t>(8 * 0.05 * static_cast<double>(n)));
+}
+
+TEST(GkSummaryTest, EncodedSizeIndependentOfN) {
+  GkSummary small(0.05), large(0.05);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) small.Add(rng.UniformInt(0, 1023));
+  for (int i = 0; i < 20000; ++i) large.Add(rng.UniformInt(0, 1023));
+  WireFormat wire;
+  // Both summaries are O(1/epsilon); the big one may not be more than ~2x.
+  EXPECT_LE(large.EncodedBits(wire), 2 * small.EncodedBits(wire) + 2048);
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -1,0 +1,92 @@
+// Long-horizon soak: every paper protocol over 400 rounds of a workload
+// that cycles through calm drift, fast oscillation, level jumps, and heavy
+// noise — the regimes of Figs. 6-10 back to back in one run. Exactness and
+// bookkeeping must hold at every single round.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/oracle.h"
+#include "algo/registry.h"
+#include "tests/test_scenario.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+using testing_support::MakeRandomNetwork;
+
+// Regime-cycling measurement generator.
+int64_t RegimeValue(int64_t base, int64_t round, Rng* rng) {
+  const int64_t regime = (round / 100) % 4;
+  double value = static_cast<double>(base);
+  switch (regime) {
+    case 0:  // calm drift
+      value += 2.0 * static_cast<double>(round % 100);
+      value += static_cast<double>(rng->UniformInt(-3, 3));
+      break;
+    case 1:  // fast oscillation
+      value += 4000.0 * std::sin(2.0 * 3.14159 *
+                                 static_cast<double>(round) / 11.0);
+      value += static_cast<double>(rng->UniformInt(-10, 10));
+      break;
+    case 2:  // level jumps every 20 rounds
+      value += static_cast<double>(((round / 20) % 3) * 9000);
+      value += static_cast<double>(rng->UniformInt(-5, 5));
+      break;
+    default:  // heavy noise
+      value += static_cast<double>(rng->UniformInt(-8000, 8000));
+      break;
+  }
+  return std::clamp<int64_t>(static_cast<int64_t>(value), 0, 65535);
+}
+
+class SoakTest : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(SoakTest, FourHundredRoundsAcrossRegimes) {
+  Network net = MakeRandomNetwork(64, 601);
+  const int64_t k = 32;
+  auto protocol = MakeProtocol(GetParam(), k, 0, 65535, WireFormat{});
+  std::vector<int64_t> bases(static_cast<size_t>(net.num_vertices()), 0);
+  Rng base_rng(8);
+  for (auto& b : bases) b = base_rng.UniformInt(20000, 30000);
+
+  Rng rng(13);
+  std::vector<int64_t> values(static_cast<size_t>(net.num_vertices()), 0);
+  for (int64_t round = 0; round <= 400; ++round) {
+    for (int v = 1; v < net.num_vertices(); ++v) {
+      values[static_cast<size_t>(v)] =
+          RegimeValue(bases[static_cast<size_t>(v)], round, &rng);
+    }
+    net.BeginRound();
+    protocol->RunRound(&net, values, round);
+    const auto sensors = SensorValues(net, values);
+    ASSERT_EQ(protocol->quantile(), OracleKth(sensors, k))
+        << protocol->name() << " round " << round;
+    const RootCounts counts = protocol->root_counts();
+    ASSERT_EQ(counts.l + counts.e + counts.g,
+              static_cast<int64_t>(sensors.size()))
+        << protocol->name() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExact, SoakTest,
+    ::testing::Values(AlgorithmKind::kTag, AlgorithmKind::kPos,
+                      AlgorithmKind::kPosSr, AlgorithmKind::kHbc,
+                      AlgorithmKind::kHbcNtb, AlgorithmKind::kIq,
+                      AlgorithmKind::kLcllH, AlgorithmKind::kLcllS,
+                      AlgorithmKind::kSwitching),
+    [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wsnq

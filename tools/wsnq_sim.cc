@@ -1,0 +1,183 @@
+// wsnq_sim: command-line driver for the continuous quantile simulator.
+//
+// Examples:
+//   wsnq_sim --algo=IQ --nodes=256 --rounds=250 --runs=5
+//   wsnq_sim --algo=HBC,IQ,POS --dataset=pressure --skip=7 --pessimistic
+//   wsnq_sim --algo=IQ --trail --rounds=50       # per-round trace
+//   wsnq_sim --list                              # available algorithms
+//
+// Flags (defaults follow the paper's §5.1 setup):
+//   --algo=NAME[,NAME...]   algorithms (TAG POS HBC HBC-NTB IQ LCLL-H
+//                           LCLL-S SNAPSHOT SWITCH QDIGEST GK SAMPLE)
+//   --dataset=synthetic|pressure
+//   --nodes=N --radio=M --phi=F --rounds=R --runs=K --seed=S
+//   --values_per_node=M     multi-value nodes (§2; synthetic only)
+//   --period=P --noise=PSI  (synthetic)
+//   --skip=S --pessimistic  (pressure)
+//   --tree=nearest|balanced|random   routing-tree parent selection
+//   --loss=P                uplink loss probability (0..1)
+//   --trail                 print per-round records (single run)
+//   --csv                   machine-readable output
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace wsnq;
+
+std::vector<std::string> SplitCommas(const std::string& raw) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= raw.size()) {
+    const size_t comma = raw.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(raw.substr(start));
+      break;
+    }
+    out.push_back(raw.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int ListAlgorithms() {
+  std::printf("exact:         TAG POS HBC HBC-NTB IQ LCLL-H LCLL-S SNAPSHOT "
+              "SWITCH\n");
+  std::printf("approximate:   QDIGEST GK\n");
+  std::printf("probabilistic: SAMPLE\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("list")) return ListAlgorithms();
+  if (flags.Has("help")) {
+    std::printf("see the header comment of tools/wsnq_sim.cc or README.md\n");
+    return 0;
+  }
+
+  SimulationConfig config;
+  config.num_sensors = static_cast<int>(flags.GetInt("nodes", 256));
+  config.values_per_node =
+      static_cast<int>(flags.GetInt("values_per_node", 1));
+  config.radio_range = flags.GetDouble("radio", 35.0);
+  config.phi = flags.GetDouble("phi", 0.5);
+  config.rounds = static_cast<int>(flags.GetInt("rounds", 250));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.uplink_loss = flags.GetDouble("loss", 0.0);
+  config.synthetic.period_rounds = flags.GetDouble("period", 125.0);
+  config.synthetic.noise_percent = flags.GetDouble("noise", 5.0);
+  config.pressure.skip = static_cast<int>(flags.GetInt("skip", 0));
+  if (flags.GetBool("pessimistic", false)) {
+    config.pressure.range_setting =
+        PressureTrace::RangeSetting::kPessimistic;
+  }
+  const std::string tree = flags.GetString("tree", "nearest");
+  if (tree == "balanced") {
+    config.tree_strategy = ParentSelection::kDegreeBalanced;
+  } else if (tree == "random") {
+    config.tree_strategy = ParentSelection::kRandom;
+  } else if (tree != "nearest") {
+    std::fprintf(stderr, "unknown --tree=%s (nearest|balanced|random)\n",
+                 tree.c_str());
+    return 2;
+  }
+  const std::string dataset = flags.GetString("dataset", "synthetic");
+  if (dataset == "pressure") {
+    config.dataset = DatasetKind::kPressure;
+    config.pressure.num_stations =
+        static_cast<int>(flags.GetInt("nodes", 1022));
+  } else if (dataset != "synthetic") {
+    std::fprintf(stderr, "unknown --dataset=%s\n", dataset.c_str());
+    return 2;
+  }
+
+  const int runs = static_cast<int>(flags.GetInt("runs", 5));
+  const bool trail = flags.GetBool("trail", false);
+  const bool csv = flags.GetBool("csv", false);
+  const std::string algo_list = flags.GetString("algo", "IQ");
+
+  for (const std::string& err : flags.errors()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s (try --help)\n", unused.c_str());
+    return 2;
+  }
+
+  std::vector<AlgorithmKind> kinds;
+  for (const std::string& name : SplitCommas(algo_list)) {
+    auto kind = ParseAlgorithmName(name.c_str());
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s (use --list)\n",
+                   kind.status().ToString().c_str());
+      return 2;
+    }
+    kinds.push_back(kind.value());
+  }
+
+  if (trail) {
+    // Single-run per-round trace of the first algorithm.
+    auto scenario = BuildScenario(config, 0);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    auto protocol = MakeProtocol(kinds[0], scenario.value().k,
+                                 scenario.value().source->range_min(),
+                                 scenario.value().source->range_max(),
+                                 config.wire);
+    const SimulationResult result =
+        RunSimulation(scenario.value(), protocol.get(), config.rounds,
+                      /*check_oracle=*/true, /*keep_trail=*/true);
+    std::printf(csv ? "round,quantile,hotspot_mj,packets,values,refinements,"
+                      "rank_error\n"
+                    : "%-6s %-10s %-12s %-8s %-8s %-12s %s\n",
+                "round", "quantile", "hotspot_mJ", "packets", "values",
+                "refinements", "rank_err");
+    for (const RoundRecord& r : result.trail) {
+      std::printf(csv ? "%lld,%lld,%.6f,%lld,%lld,%d,%lld\n"
+                      : "%-6lld %-10lld %-12.6f %-8lld %-8lld %-12d %lld\n",
+                  static_cast<long long>(r.round),
+                  static_cast<long long>(r.quantile), r.max_round_energy_mj,
+                  static_cast<long long>(r.packets),
+                  static_cast<long long>(r.values), r.refinements,
+                  static_cast<long long>(r.rank_error));
+    }
+    return 0;
+  }
+
+  auto aggregates = RunExperiment(config, kinds, runs);
+  if (!aggregates.ok()) {
+    std::fprintf(stderr, "%s\n", aggregates.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(csv ? "algo,max_energy_mj,lifetime_rounds,packets,values,"
+                    "refinements,mean_rank_error,errors\n"
+                  : "%-9s %14s %16s %10s %10s %12s %10s %7s\n",
+              "algo", "max_energy_mJ", "lifetime_rounds", "packets",
+              "values", "refinements", "rank_err", "errors");
+  for (const AlgorithmAggregate& agg : aggregates.value()) {
+    std::printf(csv ? "%s,%.6f,%.1f,%.1f,%.1f,%.2f,%.3f,%lld\n"
+                    : "%-9s %14.6f %16.1f %10.1f %10.1f %12.2f %10.3f "
+                      "%7lld\n",
+                agg.label.c_str(), agg.max_round_energy_mj.mean(),
+                agg.lifetime_rounds.mean(), agg.packets.mean(),
+                agg.values.mean(), agg.refinements.mean(),
+                agg.rank_error.mean(), static_cast<long long>(agg.errors));
+  }
+  return 0;
+}
