@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buckets.dir/abl_buckets.cc.o"
+  "CMakeFiles/abl_buckets.dir/abl_buckets.cc.o.d"
+  "abl_buckets"
+  "abl_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hbc_variants.dir/abl_hbc_variants.cc.o"
+  "CMakeFiles/abl_hbc_variants.dir/abl_hbc_variants.cc.o.d"
+  "abl_hbc_variants"
+  "abl_hbc_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hbc_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

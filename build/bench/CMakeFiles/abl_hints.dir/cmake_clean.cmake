@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hints.dir/abl_hints.cc.o"
+  "CMakeFiles/abl_hints.dir/abl_hints.cc.o.d"
+  "abl_hints"
+  "abl_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_iq_window.dir/abl_iq_window.cc.o"
+  "CMakeFiles/abl_iq_window.dir/abl_iq_window.cc.o.d"
+  "abl_iq_window"
+  "abl_iq_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_iq_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

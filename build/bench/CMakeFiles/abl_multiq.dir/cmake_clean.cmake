@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multiq.dir/abl_multiq.cc.o"
+  "CMakeFiles/abl_multiq.dir/abl_multiq.cc.o.d"
+  "abl_multiq"
+  "abl_multiq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multiq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

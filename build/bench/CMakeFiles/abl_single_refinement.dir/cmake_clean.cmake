@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_single_refinement.dir/abl_single_refinement.cc.o"
+  "CMakeFiles/abl_single_refinement.dir/abl_single_refinement.cc.o.d"
+  "abl_single_refinement"
+  "abl_single_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_single_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

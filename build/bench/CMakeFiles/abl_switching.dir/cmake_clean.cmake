@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_switching.dir/abl_switching.cc.o"
+  "CMakeFiles/abl_switching.dir/abl_switching.cc.o.d"
+  "abl_switching"
+  "abl_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

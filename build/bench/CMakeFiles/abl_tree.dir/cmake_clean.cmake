@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tree.dir/abl_tree.cc.o"
+  "CMakeFiles/abl_tree.dir/abl_tree.cc.o.d"
+  "abl_tree"
+  "abl_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

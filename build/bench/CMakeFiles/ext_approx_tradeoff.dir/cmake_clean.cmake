@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_approx_tradeoff.dir/ext_approx_tradeoff.cc.o"
+  "CMakeFiles/ext_approx_tradeoff.dir/ext_approx_tradeoff.cc.o.d"
+  "ext_approx_tradeoff"
+  "ext_approx_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_approx_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_message_loss.dir/ext_message_loss.cc.o"
+  "CMakeFiles/ext_message_loss.dir/ext_message_loss.cc.o.d"
+  "ext_message_loss"
+  "ext_message_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_phi.dir/ext_phi.cc.o"
+  "CMakeFiles/ext_phi.dir/ext_phi.cc.o.d"
+  "ext_phi"
+  "ext_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_iq_trace.dir/fig4_iq_trace.cc.o"
+  "CMakeFiles/fig4_iq_trace.dir/fig4_iq_trace.cc.o.d"
+  "fig4_iq_trace"
+  "fig4_iq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_iq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

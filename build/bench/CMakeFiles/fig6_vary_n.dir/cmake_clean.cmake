@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vary_n.dir/fig6_vary_n.cc.o"
+  "CMakeFiles/fig6_vary_n.dir/fig6_vary_n.cc.o.d"
+  "fig6_vary_n"
+  "fig6_vary_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vary_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

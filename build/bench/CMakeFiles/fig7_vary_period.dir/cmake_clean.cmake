@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vary_period.dir/fig7_vary_period.cc.o"
+  "CMakeFiles/fig7_vary_period.dir/fig7_vary_period.cc.o.d"
+  "fig7_vary_period"
+  "fig7_vary_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vary_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

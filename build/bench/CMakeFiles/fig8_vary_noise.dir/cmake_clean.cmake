@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vary_noise.dir/fig8_vary_noise.cc.o"
+  "CMakeFiles/fig8_vary_noise.dir/fig8_vary_noise.cc.o.d"
+  "fig8_vary_noise"
+  "fig8_vary_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vary_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vary_radio.dir/fig9_vary_radio.cc.o"
+  "CMakeFiles/fig9_vary_radio.dir/fig9_vary_radio.cc.o.d"
+  "fig9_vary_radio"
+  "fig9_vary_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vary_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

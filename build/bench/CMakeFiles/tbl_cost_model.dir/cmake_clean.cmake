@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_cost_model.dir/tbl_cost_model.cc.o"
+  "CMakeFiles/tbl_cost_model.dir/tbl_cost_model.cc.o.d"
+  "tbl_cost_model"
+  "tbl_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

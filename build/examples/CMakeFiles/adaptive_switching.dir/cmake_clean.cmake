@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_switching.dir/adaptive_switching.cpp.o"
+  "CMakeFiles/adaptive_switching.dir/adaptive_switching.cpp.o.d"
+  "adaptive_switching"
+  "adaptive_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

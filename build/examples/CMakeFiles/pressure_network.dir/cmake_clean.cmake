@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_network.dir/pressure_network.cpp.o"
+  "CMakeFiles/pressure_network.dir/pressure_network.cpp.o.d"
+  "pressure_network"
+  "pressure_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/approximate.cc" "src/algo/CMakeFiles/wsnq_algo.dir/approximate.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/approximate.cc.o.d"
+  "/root/repo/src/algo/common.cc" "src/algo/CMakeFiles/wsnq_algo.dir/common.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/common.cc.o.d"
+  "/root/repo/src/algo/cost_model.cc" "src/algo/CMakeFiles/wsnq_algo.dir/cost_model.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/cost_model.cc.o.d"
+  "/root/repo/src/algo/hbc.cc" "src/algo/CMakeFiles/wsnq_algo.dir/hbc.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/hbc.cc.o.d"
+  "/root/repo/src/algo/hist_codec.cc" "src/algo/CMakeFiles/wsnq_algo.dir/hist_codec.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/hist_codec.cc.o.d"
+  "/root/repo/src/algo/iq.cc" "src/algo/CMakeFiles/wsnq_algo.dir/iq.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/iq.cc.o.d"
+  "/root/repo/src/algo/lcll.cc" "src/algo/CMakeFiles/wsnq_algo.dir/lcll.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/lcll.cc.o.d"
+  "/root/repo/src/algo/multi_quantile.cc" "src/algo/CMakeFiles/wsnq_algo.dir/multi_quantile.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/multi_quantile.cc.o.d"
+  "/root/repo/src/algo/oracle.cc" "src/algo/CMakeFiles/wsnq_algo.dir/oracle.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/oracle.cc.o.d"
+  "/root/repo/src/algo/pos.cc" "src/algo/CMakeFiles/wsnq_algo.dir/pos.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/pos.cc.o.d"
+  "/root/repo/src/algo/pos_sr.cc" "src/algo/CMakeFiles/wsnq_algo.dir/pos_sr.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/pos_sr.cc.o.d"
+  "/root/repo/src/algo/registry.cc" "src/algo/CMakeFiles/wsnq_algo.dir/registry.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/registry.cc.o.d"
+  "/root/repo/src/algo/snapshot_bary.cc" "src/algo/CMakeFiles/wsnq_algo.dir/snapshot_bary.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/snapshot_bary.cc.o.d"
+  "/root/repo/src/algo/switching.cc" "src/algo/CMakeFiles/wsnq_algo.dir/switching.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/switching.cc.o.d"
+  "/root/repo/src/algo/tag.cc" "src/algo/CMakeFiles/wsnq_algo.dir/tag.cc.o" "gcc" "src/algo/CMakeFiles/wsnq_algo.dir/tag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsnq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/wsnq_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

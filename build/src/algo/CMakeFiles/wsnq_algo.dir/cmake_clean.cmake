@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_algo.dir/approximate.cc.o"
+  "CMakeFiles/wsnq_algo.dir/approximate.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/common.cc.o"
+  "CMakeFiles/wsnq_algo.dir/common.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/cost_model.cc.o"
+  "CMakeFiles/wsnq_algo.dir/cost_model.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/hbc.cc.o"
+  "CMakeFiles/wsnq_algo.dir/hbc.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/hist_codec.cc.o"
+  "CMakeFiles/wsnq_algo.dir/hist_codec.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/iq.cc.o"
+  "CMakeFiles/wsnq_algo.dir/iq.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/lcll.cc.o"
+  "CMakeFiles/wsnq_algo.dir/lcll.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/multi_quantile.cc.o"
+  "CMakeFiles/wsnq_algo.dir/multi_quantile.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/oracle.cc.o"
+  "CMakeFiles/wsnq_algo.dir/oracle.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/pos.cc.o"
+  "CMakeFiles/wsnq_algo.dir/pos.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/pos_sr.cc.o"
+  "CMakeFiles/wsnq_algo.dir/pos_sr.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/registry.cc.o"
+  "CMakeFiles/wsnq_algo.dir/registry.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/snapshot_bary.cc.o"
+  "CMakeFiles/wsnq_algo.dir/snapshot_bary.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/switching.cc.o"
+  "CMakeFiles/wsnq_algo.dir/switching.cc.o.d"
+  "CMakeFiles/wsnq_algo.dir/tag.cc.o"
+  "CMakeFiles/wsnq_algo.dir/tag.cc.o.d"
+  "libwsnq_algo.a"
+  "libwsnq_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/wsnq_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/wsnq_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/lifetime.cc" "src/core/CMakeFiles/wsnq_core.dir/lifetime.cc.o" "gcc" "src/core/CMakeFiles/wsnq_core.dir/lifetime.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/wsnq_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/wsnq_core.dir/report.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/wsnq_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/wsnq_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/wsnq_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/wsnq_core.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/wsnq_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsnq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsnq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/wsnq_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_core.dir/experiment.cc.o"
+  "CMakeFiles/wsnq_core.dir/experiment.cc.o.d"
+  "CMakeFiles/wsnq_core.dir/lifetime.cc.o"
+  "CMakeFiles/wsnq_core.dir/lifetime.cc.o.d"
+  "CMakeFiles/wsnq_core.dir/report.cc.o"
+  "CMakeFiles/wsnq_core.dir/report.cc.o.d"
+  "CMakeFiles/wsnq_core.dir/scenario.cc.o"
+  "CMakeFiles/wsnq_core.dir/scenario.cc.o.d"
+  "CMakeFiles/wsnq_core.dir/simulation.cc.o"
+  "CMakeFiles/wsnq_core.dir/simulation.cc.o.d"
+  "libwsnq_core.a"
+  "libwsnq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

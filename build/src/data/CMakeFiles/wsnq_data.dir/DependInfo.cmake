@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/noise_image.cc" "src/data/CMakeFiles/wsnq_data.dir/noise_image.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/noise_image.cc.o.d"
+  "/root/repo/src/data/pressure_trace.cc" "src/data/CMakeFiles/wsnq_data.dir/pressure_trace.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/pressure_trace.cc.o.d"
+  "/root/repo/src/data/range_scaler.cc" "src/data/CMakeFiles/wsnq_data.dir/range_scaler.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/range_scaler.cc.o.d"
+  "/root/repo/src/data/som.cc" "src/data/CMakeFiles/wsnq_data.dir/som.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/som.cc.o.d"
+  "/root/repo/src/data/synthetic_trace.cc" "src/data/CMakeFiles/wsnq_data.dir/synthetic_trace.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/synthetic_trace.cc.o.d"
+  "/root/repo/src/data/trace_io.cc" "src/data/CMakeFiles/wsnq_data.dir/trace_io.cc.o" "gcc" "src/data/CMakeFiles/wsnq_data.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsnq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_data.dir/noise_image.cc.o"
+  "CMakeFiles/wsnq_data.dir/noise_image.cc.o.d"
+  "CMakeFiles/wsnq_data.dir/pressure_trace.cc.o"
+  "CMakeFiles/wsnq_data.dir/pressure_trace.cc.o.d"
+  "CMakeFiles/wsnq_data.dir/range_scaler.cc.o"
+  "CMakeFiles/wsnq_data.dir/range_scaler.cc.o.d"
+  "CMakeFiles/wsnq_data.dir/som.cc.o"
+  "CMakeFiles/wsnq_data.dir/som.cc.o.d"
+  "CMakeFiles/wsnq_data.dir/synthetic_trace.cc.o"
+  "CMakeFiles/wsnq_data.dir/synthetic_trace.cc.o.d"
+  "CMakeFiles/wsnq_data.dir/trace_io.cc.o"
+  "CMakeFiles/wsnq_data.dir/trace_io.cc.o.d"
+  "libwsnq_data.a"
+  "libwsnq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

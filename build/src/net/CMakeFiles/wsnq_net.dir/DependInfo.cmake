@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/wsnq_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/network.cc.o.d"
+  "/root/repo/src/net/placement.cc" "src/net/CMakeFiles/wsnq_net.dir/placement.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/placement.cc.o.d"
+  "/root/repo/src/net/radio_graph.cc" "src/net/CMakeFiles/wsnq_net.dir/radio_graph.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/radio_graph.cc.o.d"
+  "/root/repo/src/net/schedule.cc" "src/net/CMakeFiles/wsnq_net.dir/schedule.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/schedule.cc.o.d"
+  "/root/repo/src/net/spanning_tree.cc" "src/net/CMakeFiles/wsnq_net.dir/spanning_tree.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/spanning_tree.cc.o.d"
+  "/root/repo/src/net/topology_io.cc" "src/net/CMakeFiles/wsnq_net.dir/topology_io.cc.o" "gcc" "src/net/CMakeFiles/wsnq_net.dir/topology_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_net.dir/network.cc.o"
+  "CMakeFiles/wsnq_net.dir/network.cc.o.d"
+  "CMakeFiles/wsnq_net.dir/placement.cc.o"
+  "CMakeFiles/wsnq_net.dir/placement.cc.o.d"
+  "CMakeFiles/wsnq_net.dir/radio_graph.cc.o"
+  "CMakeFiles/wsnq_net.dir/radio_graph.cc.o.d"
+  "CMakeFiles/wsnq_net.dir/schedule.cc.o"
+  "CMakeFiles/wsnq_net.dir/schedule.cc.o.d"
+  "CMakeFiles/wsnq_net.dir/spanning_tree.cc.o"
+  "CMakeFiles/wsnq_net.dir/spanning_tree.cc.o.d"
+  "CMakeFiles/wsnq_net.dir/topology_io.cc.o"
+  "CMakeFiles/wsnq_net.dir/topology_io.cc.o.d"
+  "libwsnq_net.a"
+  "libwsnq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsnq_net.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/gk_summary.cc" "src/sketch/CMakeFiles/wsnq_sketch.dir/gk_summary.cc.o" "gcc" "src/sketch/CMakeFiles/wsnq_sketch.dir/gk_summary.cc.o.d"
+  "/root/repo/src/sketch/qdigest.cc" "src/sketch/CMakeFiles/wsnq_sketch.dir/qdigest.cc.o" "gcc" "src/sketch/CMakeFiles/wsnq_sketch.dir/qdigest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsnq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_sketch.dir/gk_summary.cc.o"
+  "CMakeFiles/wsnq_sketch.dir/gk_summary.cc.o.d"
+  "CMakeFiles/wsnq_sketch.dir/qdigest.cc.o"
+  "CMakeFiles/wsnq_sketch.dir/qdigest.cc.o.d"
+  "libwsnq_sketch.a"
+  "libwsnq_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

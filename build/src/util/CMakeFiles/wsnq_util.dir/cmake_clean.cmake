@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_util.dir/flags.cc.o"
+  "CMakeFiles/wsnq_util.dir/flags.cc.o.d"
+  "CMakeFiles/wsnq_util.dir/lambert_w.cc.o"
+  "CMakeFiles/wsnq_util.dir/lambert_w.cc.o.d"
+  "CMakeFiles/wsnq_util.dir/rng.cc.o"
+  "CMakeFiles/wsnq_util.dir/rng.cc.o.d"
+  "CMakeFiles/wsnq_util.dir/stats.cc.o"
+  "CMakeFiles/wsnq_util.dir/stats.cc.o.d"
+  "libwsnq_util.a"
+  "libwsnq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

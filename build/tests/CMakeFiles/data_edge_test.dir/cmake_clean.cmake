@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_edge_test.dir/data_edge_test.cc.o"
+  "CMakeFiles/data_edge_test.dir/data_edge_test.cc.o.d"
+  "data_edge_test"
+  "data_edge_test.pdb"
+  "data_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exchange_test.cc" "tests/CMakeFiles/exchange_test.dir/exchange_test.cc.o" "gcc" "tests/CMakeFiles/exchange_test.dir/exchange_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsnq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/wsnq_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsnq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wsnq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsnq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/wsnq_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

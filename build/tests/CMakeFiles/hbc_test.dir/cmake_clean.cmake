@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbc_test.dir/hbc_test.cc.o"
+  "CMakeFiles/hbc_test.dir/hbc_test.cc.o.d"
+  "hbc_test"
+  "hbc_test.pdb"
+  "hbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

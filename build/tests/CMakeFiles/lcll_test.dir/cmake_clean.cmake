@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcll_test.dir/lcll_test.cc.o"
+  "CMakeFiles/lcll_test.dir/lcll_test.cc.o.d"
+  "lcll_test"
+  "lcll_test.pdb"
+  "lcll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_grid_test.dir/option_grid_test.cc.o"
+  "CMakeFiles/option_grid_test.dir/option_grid_test.cc.o.d"
+  "option_grid_test"
+  "option_grid_test.pdb"
+  "option_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

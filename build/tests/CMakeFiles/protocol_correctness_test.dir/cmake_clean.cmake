@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_correctness_test.dir/protocol_correctness_test.cc.o"
+  "CMakeFiles/protocol_correctness_test.dir/protocol_correctness_test.cc.o.d"
+  "protocol_correctness_test"
+  "protocol_correctness_test.pdb"
+  "protocol_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

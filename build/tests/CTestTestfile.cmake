@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/pos_test[1]_include.cmake")
+include("/root/repo/build/tests/hbc_test[1]_include.cmake")
+include("/root/repo/build/tests/iq_test[1]_include.cmake")
+include("/root/repo/build/tests/lcll_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_switching_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/loss_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/approximate_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/metamorphic_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_quantile_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/lifetime_test[1]_include.cmake")
+include("/root/repo/build/tests/exchange_test[1]_include.cmake")
+include("/root/repo/build/tests/data_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/option_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")

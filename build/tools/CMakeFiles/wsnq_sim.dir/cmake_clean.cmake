@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsnq_sim.dir/wsnq_sim.cc.o"
+  "CMakeFiles/wsnq_sim.dir/wsnq_sim.cc.o.d"
+  "wsnq_sim"
+  "wsnq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsnq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
