@@ -2,13 +2,17 @@
 //
 // CHECK(cond) aborts the process with a diagnostic when `cond` is false, in
 // every build type. DCHECK(cond) compiles away in NDEBUG builds and is meant
-// for invariants that are too hot to verify in release simulations.
+// for invariants that are too hot to verify in release simulations. The
+// comparison forms (CHECK_EQ, DCHECK_LE, ...) print both operand values on
+// failure, stream-free (printf only), matching the rest of this file.
 
 #ifndef WSNQ_UTIL_CHECK_H_
 #define WSNQ_UTIL_CHECK_H_
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 namespace wsnq {
 namespace internal_check {
@@ -18,6 +22,42 @@ namespace internal_check {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::fflush(stderr);
   std::abort();
+}
+
+[[noreturn]] inline void CheckOpFailed(const char* file, int line,
+                                       const char* expr, const char* lhs,
+                                       const char* rhs) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (lhs=%s, rhs=%s)\n", file,
+               line, expr, lhs, rhs);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Renders one CHECK_OP operand into `buf`. Covers the types that appear at
+/// call sites (integers, floats, bools, enums, pointers); anything else is
+/// shown as "<obj>" rather than dragging in <ostream>.
+template <typename T>
+void FormatOperand(char* buf, std::size_t size, const T& value) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    std::snprintf(buf, size, "%s", value ? "true" : "false");
+  } else if constexpr (std::is_enum_v<D>) {
+    std::snprintf(buf, size, "%lld",
+                  static_cast<long long>(static_cast<std::underlying_type_t<D>>(value)));
+  } else if constexpr (std::is_integral_v<D> && std::is_signed_v<D>) {
+    std::snprintf(buf, size, "%lld", static_cast<long long>(value));
+  } else if constexpr (std::is_integral_v<D> && std::is_unsigned_v<D>) {
+    std::snprintf(buf, size, "%llu", static_cast<unsigned long long>(value));
+  } else if constexpr (std::is_floating_point_v<D>) {
+    std::snprintf(buf, size, "%.17g", static_cast<double>(value));
+  } else if constexpr (std::is_same_v<D, const char*> ||
+                       std::is_same_v<D, char*>) {
+    std::snprintf(buf, size, "%s", value ? value : "(null)");
+  } else if constexpr (std::is_pointer_v<D>) {
+    std::snprintf(buf, size, "%p", static_cast<const void*>(value));
+  } else {
+    std::snprintf(buf, size, "<obj>");
+  }
 }
 
 }  // namespace internal_check
@@ -30,7 +70,28 @@ namespace internal_check {
     }                                                                  \
   } while (0)
 
-#define WSNQ_CHECK_OP(a, op, b) WSNQ_CHECK((a)op(b))
+// Operands are evaluated exactly once and captured *by value*: capturing by
+// reference dangles when a call site passes something like
+// std::max<int64_t>(n, 1), which returns a reference into a temporary that
+// dies at the end of the capture statement.
+#define WSNQ_CHECK_OP(a, op, b)                                           \
+  do {                                                                    \
+    const auto wsnq_check_lhs_ = (a);                                     \
+    const auto wsnq_check_rhs_ = (b);                                     \
+    if (!(wsnq_check_lhs_ op wsnq_check_rhs_)) {                          \
+      char wsnq_check_lbuf_[48];                                          \
+      char wsnq_check_rbuf_[48];                                          \
+      ::wsnq::internal_check::FormatOperand(                              \
+          wsnq_check_lbuf_, sizeof(wsnq_check_lbuf_), wsnq_check_lhs_);   \
+      ::wsnq::internal_check::FormatOperand(                              \
+          wsnq_check_rbuf_, sizeof(wsnq_check_rbuf_), wsnq_check_rhs_);   \
+      ::wsnq::internal_check::CheckOpFailed(__FILE__, __LINE__,           \
+                                            #a " " #op " " #b,            \
+                                            wsnq_check_lbuf_,             \
+                                            wsnq_check_rbuf_);            \
+    }                                                                     \
+  } while (0)
+
 #define WSNQ_CHECK_EQ(a, b) WSNQ_CHECK_OP(a, ==, b)
 #define WSNQ_CHECK_NE(a, b) WSNQ_CHECK_OP(a, !=, b)
 #define WSNQ_CHECK_LT(a, b) WSNQ_CHECK_OP(a, <, b)
@@ -39,11 +100,23 @@ namespace internal_check {
 #define WSNQ_CHECK_GE(a, b) WSNQ_CHECK_OP(a, >=, b)
 
 #ifdef NDEBUG
+// The condition stays in the compiled expression (so it must keep
+// compiling and its operands count as used) but is never evaluated.
 #define WSNQ_DCHECK(cond) \
   do {                    \
+    if (false && (cond)) {} \
   } while (0)
+#define WSNQ_DCHECK_OP(a, op, b) WSNQ_DCHECK((a)op(b))
 #else
 #define WSNQ_DCHECK(cond) WSNQ_CHECK(cond)
+#define WSNQ_DCHECK_OP(a, op, b) WSNQ_CHECK_OP(a, op, b)
 #endif
+
+#define WSNQ_DCHECK_EQ(a, b) WSNQ_DCHECK_OP(a, ==, b)
+#define WSNQ_DCHECK_NE(a, b) WSNQ_DCHECK_OP(a, !=, b)
+#define WSNQ_DCHECK_LT(a, b) WSNQ_DCHECK_OP(a, <, b)
+#define WSNQ_DCHECK_LE(a, b) WSNQ_DCHECK_OP(a, <=, b)
+#define WSNQ_DCHECK_GT(a, b) WSNQ_DCHECK_OP(a, >, b)
+#define WSNQ_DCHECK_GE(a, b) WSNQ_DCHECK_OP(a, >=, b)
 
 #endif  // WSNQ_UTIL_CHECK_H_
