@@ -41,12 +41,11 @@ void SwitchingProtocol::RunRound(Network* net,
   prev_quantile_ = active_->quantile();
   prev_values_ = values_by_vertex;
   if (round % options_.evaluate_every == 0) {
-    MaybeSwitch(net, values_by_vertex);
+    MaybeSwitch(net);
   }
 }
 
-void SwitchingProtocol::MaybeSwitch(Network* net,
-                                    const std::vector<int64_t>& values) {
+void SwitchingProtocol::MaybeSwitch(Network* net) {
   if (deltas_.empty()) return;
   double mean_abs = 0.0;
   for (int64_t d : deltas_) mean_abs += static_cast<double>(d);

@@ -67,7 +67,7 @@ class SwitchingProtocol : public QuantileProtocol {
   int switches() const { return switches_; }
 
  private:
-  void MaybeSwitch(Network* net, const std::vector<int64_t>& values);
+  void MaybeSwitch(Network* net);
 
   int64_t k_;
   int64_t range_min_;

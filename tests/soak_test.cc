@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AlgorithmKind::kHbcNtb, AlgorithmKind::kIq,
                       AlgorithmKind::kLcllH, AlgorithmKind::kLcllS,
                       AlgorithmKind::kSwitching),
-    [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
-      std::string name = AlgorithmName(info.param);
+    [](const ::testing::TestParamInfo<AlgorithmKind>& param_info) {
+      std::string name = AlgorithmName(param_info.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
