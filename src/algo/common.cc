@@ -75,7 +75,14 @@ std::vector<int64_t> CollectKSmallest(Network* net,
       }
     }
   }
-  return inbox[static_cast<size_t>(net->root())];
+  const std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
+  WSNQ_DCHECK(std::is_sorted(result.begin(), result.end()));
+  if (!net->lossy()) {
+    // Lossless collection is complete up to rank k.
+    WSNQ_DCHECK_GE(static_cast<int64_t>(result.size()),
+                   std::min<int64_t>(k, net->num_sensors()));
+  }
+  return result;
 }
 
 std::vector<int64_t> RangeValuesConvergecast(
@@ -153,6 +160,8 @@ std::vector<int64_t> TopFConvergecast(Network* net,
 
 RootCounts CountsFromCollection(const std::vector<int64_t>& sorted_collection,
                                 int64_t threshold, int64_t population) {
+  WSNQ_DCHECK(
+      std::is_sorted(sorted_collection.begin(), sorted_collection.end()));
   RootCounts counts;
   for (int64_t v : sorted_collection) {
     if (v < threshold) {

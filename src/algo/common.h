@@ -79,6 +79,14 @@ inline bool CountsValid(const RootCounts& counts, int64_t k) {
   return counts.l < k && counts.l + counts.e >= k;
 }
 
+/// Debug-audit helper: the root's (l, e, g) are componentwise non-negative
+/// and partition the sensor population. Message loss can legitimately break
+/// this, so call sites guard on `!net->lossy()`.
+inline bool CountsConserved(const RootCounts& counts, int64_t population) {
+  return counts.l >= 0 && counts.e >= 0 && counts.g >= 0 &&
+         counts.l + counts.e + counts.g == population;
+}
+
 /// TAG-style k-limited collection (§5.1.6): every node forwards the k
 /// smallest values of its subtree — plus all duplicates of the k-th
 /// smallest, so the root learns the exact multiplicity of every value up to

@@ -102,6 +102,10 @@ void HbcProtocol::RunBasicRound(Network* net,
                          ClassifyThreshold(values[i], filter));
       });
   ApplyCounters(validation, net->num_sensors(), &counts_);
+  if (!net->lossy()) {
+    // Validation deltas must keep (l, e, g) a partition of the population.
+    WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
+  }
 
   if (CountsValid(counts_, k_)) {
     quantile_ = filter_;
@@ -166,6 +170,10 @@ void HbcProtocol::RunNtbRound(Network* net,
                               const std::vector<int64_t>& values) {
   const int64_t flb = filter_lb_;
   const int64_t fub = filter_ub_;
+  // The NTB filter is a genuine interval and stays inside the value range.
+  WSNQ_DCHECK_LT(flb, fub);
+  WSNQ_DCHECK_GE(flb, range_min_);
+  WSNQ_DCHECK_LE(fub, range_max_ + 1);
   const std::vector<int64_t>& prev = prev_values_;
   // Validation relative to the three intervals [-inf,lb), [lb,ub), [ub,inf)
   // (§4.1.2); hints are the plain (min, max) of changed values.
@@ -176,6 +184,9 @@ void HbcProtocol::RunNtbRound(Network* net,
                          ClassifyInterval(values[i], flb, fub));
       });
   ApplyCounters(validation, net->num_sensors(), &counts_);
+  if (!net->lossy()) {
+    WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
+  }
 
   // A width-one certified filter interval pins the quantile exactly; that
   // is the only case without a refinement.

@@ -14,11 +14,20 @@ BucketLayout::BucketLayout(int64_t lb, int64_t ub, int max_buckets)
   width_ = (span + max_buckets - 1) / max_buckets;
   WSNQ_CHECK_GE(width_, 1);
   num_buckets_ = static_cast<int>((span + width_ - 1) / width_);
+  // Bucket edges partition [lb, ub): monotone, contiguous, and the last
+  // bucket's (clamped) upper edge lands exactly on ub.
+  WSNQ_DCHECK_GE(num_buckets_, 1);
+  WSNQ_DCHECK_LE(num_buckets_, max_buckets);
+  WSNQ_DCHECK_LT(BucketLb(num_buckets_ - 1), ub_);
+  WSNQ_DCHECK_EQ(BucketUb(num_buckets_ - 1), ub_);
 }
 
 int BucketLayout::BucketOf(int64_t value) const {
   WSNQ_DCHECK(Contains(value));
-  return static_cast<int>((value - lb_) / width_);
+  const int bucket = static_cast<int>((value - lb_) / width_);
+  WSNQ_DCHECK_GE(bucket, 0);
+  WSNQ_DCHECK_LT(bucket, num_buckets_);
+  return bucket;
 }
 
 int64_t BucketLayout::BucketUb(int i) const {
@@ -74,6 +83,18 @@ SparseHistogram HistogramConvergecast(Network* net,
       }
     }
   }
+#ifndef NDEBUG
+  if (!net->lossy()) {
+    // Conservation through the convergecast: the root's histogram holds
+    // exactly one count per in-range sensor measurement.
+    int64_t expect = 0;
+    for (int v : tree.post_order) {
+      if (!net->is_root(v) && layout.Contains(values[static_cast<size_t>(v)]))
+        ++expect;
+    }
+    WSNQ_DCHECK_EQ(inbox[static_cast<size_t>(net->root())].Total(), expect);
+  }
+#endif
   return inbox[static_cast<size_t>(net->root())];
 }
 

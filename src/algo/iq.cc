@@ -68,6 +68,10 @@ ValidationAgg IqProtocol::ValidationWithWindow(
     Network* net, const std::vector<int64_t>& values,
     std::vector<int64_t>* window_values) {
   const SpanningTree& tree = net->tree();
+  // Eq. 1/2 window sanity: xi_l <= 0 <= xi_r, so the window always
+  // contains the current filter value.
+  WSNQ_DCHECK_LE(xi_l_, 0);
+  WSNQ_DCHECK_GE(xi_r_, 0);
   const int64_t window_lo = filter_ + xi_l_;
   const int64_t window_hi = filter_ + xi_r_;
   const int hint_values = options_.use_hints ? 1 : 0;
@@ -127,7 +131,11 @@ void IqProtocol::RunRound(Network* net,
   std::vector<int64_t> a;  // sorted window multiset A
   const ValidationAgg validation =
       ValidationWithWindow(net, values_by_vertex, &a);
+  WSNQ_DCHECK(std::is_sorted(a.begin(), a.end()));
   ApplyCounters(validation, net->num_sensors(), &counts_);
+  if (!net->lossy()) {
+    WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
+  }
   prev_values_ = values_by_vertex;
 
   const int64_t n = net->num_sensors();
@@ -271,6 +279,8 @@ void IqProtocol::PushDelta(int64_t delta) {
   }
   xi_l_ = lo;  // Eq. 1: min(min deltas, 0)
   xi_r_ = hi;  // Eq. 2: max(max deltas, 0)
+  WSNQ_DCHECK_LE(xi_l_, 0);
+  WSNQ_DCHECK_GE(xi_r_, 0);
 }
 
 void IqProtocol::AdoptState(int64_t filter, const RootCounts& counts,

@@ -125,6 +125,17 @@ void LcllProtocol::Validate(Network* net,
     below_ = std::max<int64_t>(below_, 0);
     above_ = std::max<int64_t>(above_, 0);
     for (int64_t& c : hist_) c = std::max<int64_t>(c, 0);
+  } else {
+    // Delta validation conserves the population split across the
+    // below / window / above regions (§5.1.6 bookkeeping).
+    int64_t in_window = 0;
+    for (int64_t c : hist_) {
+      WSNQ_DCHECK_GE(c, 0);
+      in_window += c;
+    }
+    WSNQ_DCHECK_GE(below_, 0);
+    WSNQ_DCHECK_GE(above_, 0);
+    WSNQ_DCHECK_EQ(below_ + in_window + above_, net->num_sensors());
   }
 }
 
@@ -180,7 +191,6 @@ void LcllProtocol::Reestablish(Network* net,
 void LcllProtocol::Slip(Network* net, const std::vector<int64_t>& values,
                         bool down) {
   const int64_t old_lo = window_lo_;
-  const int64_t old_hi = old_lo + span();
   const int64_t new_lo =
       down ? std::max(range_min_, old_lo - span()) : old_lo + span();
   WSNQ_CHECK_NE(new_lo, old_lo);

@@ -59,6 +59,9 @@ void PosProtocol::RunRound(Network* net,
                          ClassifyThreshold(values_by_vertex[i], filter));
       });
   ApplyCounters(validation, net->num_sensors(), &counts_);
+  if (!net->lossy()) {
+    WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
+  }
 
   if (CountsValid(counts_, k_)) {
     quantile_ = filter_;  // Still certified; nothing to transmit.
@@ -115,6 +118,12 @@ void PosProtocol::Refine(Network* net, const std::vector<int64_t>& values,
     }
 
     const int64_t mid = lo + (hi - lo) / 2;
+    // Binary-search bracket: the midpoint stays inside [lo, hi] and the
+    // bracket stays inside the value universe.
+    WSNQ_DCHECK_GE(mid, lo);
+    WSNQ_DCHECK_LE(mid, hi);
+    WSNQ_DCHECK_GE(lo, range_min_);
+    WSNQ_DCHECK_LE(hi, range_max_);
     // Broadcast the midpoint; every node adopts it as the tentative new
     // quantile and reports its region movement relative to `current`.
     net->FloodFromRoot(wire_.value_bits);

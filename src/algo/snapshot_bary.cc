@@ -125,6 +125,13 @@ DrillResult BAryDrill(Network* net, const std::vector<int64_t>& values,
     ub = layout.BucketUb(bucket);
     cl = running;
     count_in = hist.count(bucket);
+    // Drill loop invariant: the chosen bucket is a genuine sub-interval
+    // and, absent loss, still brackets rank k (cl < k <= cl + count_in).
+    WSNQ_DCHECK_LT(lb, ub);
+    if (!net->lossy()) {
+      WSNQ_DCHECK_LT(cl, k);
+      WSNQ_DCHECK_GE(cl + count_in, k);
+    }
   }
 }
 

@@ -18,6 +18,13 @@ void TagProtocol::RunRound(Network* net,
   }
   quantile_ = BestEffortKth(collected, k_, quantile_);
   counts_ = CountsFromCollection(collected, quantile_, net->num_sensors());
+  if (!net->lossy()) {
+    // A complete TAG collection certifies the exact rank: the reported
+    // quantile was observed (e >= 1) and its rank brackets k.
+    WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
+    WSNQ_DCHECK_GE(counts_.e, 1);
+    WSNQ_DCHECK(CountsValid(counts_, k_));
+  }
 }
 
 }  // namespace wsnq

@@ -6,6 +6,35 @@
 #include "util/check.h"
 
 namespace wsnq {
+namespace {
+
+// Debug audit of the GK summary structure after every mutation: tuples are
+// value-sorted, every tuple covers at least one element (g >= 1, delta >= 0),
+// the g's partition the stream (sum g == n), and every band respects the
+// 2*epsilon*n width bound that the query-time error guarantee rests on
+// (max(threshold, 1): below n = 1/(2*epsilon) the summary is exact and each
+// band is a single element).
+void AuditSummary(const std::vector<GkSummary::Tuple>& tuples, int64_t total,
+                  int64_t threshold) {
+#ifndef NDEBUG
+  int64_t sum_g = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    WSNQ_DCHECK_GE(tuples[i].g, 1);
+    WSNQ_DCHECK_GE(tuples[i].delta, 0);
+    WSNQ_DCHECK_LE(tuples[i].g + tuples[i].delta,
+                   std::max<int64_t>(threshold, 1));
+    if (i > 0) WSNQ_DCHECK_LE(tuples[i - 1].value, tuples[i].value);
+    sum_g += tuples[i].g;
+  }
+  WSNQ_DCHECK_EQ(sum_g, total);
+#else
+  (void)tuples;
+  (void)total;
+  (void)threshold;
+#endif
+}
+
+}  // namespace
 
 GkSummary::GkSummary(double epsilon) : epsilon_(epsilon) {
   WSNQ_CHECK_GT(epsilon, 0.0);
@@ -36,6 +65,7 @@ void GkSummary::Add(int64_t value) {
       static_cast<int64_t>(3.0 / epsilon_) + 8) {
     Compress();
   }
+  AuditSummary(tuples_, total_, Threshold());
 }
 
 void GkSummary::Merge(const GkSummary& other) {
@@ -77,6 +107,7 @@ void GkSummary::Merge(const GkSummary& other) {
   tuples_ = std::move(merged);
   total_ += other.total_;
   Compress();
+  AuditSummary(tuples_, total_, Threshold());
 }
 
 void GkSummary::Compress() {
@@ -115,6 +146,10 @@ int64_t GkSummary::QueryQuantile(int64_t k) const {
             : r_min;
     if (static_cast<double>(r_max_next) >
         static_cast<double>(k) + slack) {
+      // Error-bound postcondition: the returned value's minimum rank is
+      // within epsilon * n below k (r_min > k + slack - band >= k - slack).
+      WSNQ_DCHECK_GT(static_cast<double>(r_min),
+                     static_cast<double>(k) - slack - 1.0);
       return tuples_[i].value;
     }
   }

@@ -33,6 +33,7 @@ void QDigest::Add(int64_t value, int64_t count) {
   nodes_[LeafId(value)] += count;
   total_ += count;
   if (static_cast<int64_t>(nodes_.size()) > 3 * compression_) Compress();
+  AuditDigest();
 }
 
 void QDigest::Merge(const QDigest& other) {
@@ -41,6 +42,24 @@ void QDigest::Merge(const QDigest& other) {
   for (const auto& [id, count] : other.nodes_) nodes_[id] += count;
   total_ += other.total_;
   Compress();
+  AuditDigest();
+}
+
+void QDigest::AuditDigest() const {
+#ifndef NDEBUG
+  // Count conservation: compression moves counts to parent nodes but never
+  // creates or destroys them; ids stay inside the complete binary tree over
+  // [0, 2^height) and every stored node holds a positive count.
+  int64_t sum = 0;
+  for (const auto& [id, count] : nodes_) {
+    WSNQ_DCHECK_GE(id, 1);
+    WSNQ_DCHECK_LT(id, int64_t{1} << (height_ + 1));
+    WSNQ_DCHECK_GE(count, 1);
+    WSNQ_DCHECK_LE(RangeLo(id), RangeHi(id));
+    sum += count;
+  }
+  WSNQ_DCHECK_EQ(sum, total_);
+#endif
 }
 
 void QDigest::Compress() {

@@ -68,6 +68,9 @@ class QDigest {
   int64_t RangeLo(int64_t id) const;
   /// Largest leaf value covered by node `id`.
   int64_t RangeHi(int64_t id) const;
+  /// Debug-only structural audit (count conservation, id ranges); no-op
+  /// under NDEBUG.
+  void AuditDigest() const;
 
   int height_;
   int64_t compression_;
