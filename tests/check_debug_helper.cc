@@ -1,0 +1,29 @@
+// Helper TU for check_test compiled with NDEBUG forced OFF regardless of the
+// build type: WSNQ_DCHECK* must behave exactly like WSNQ_CHECK* here.
+
+#ifdef NDEBUG
+#undef NDEBUG
+#endif
+
+#include "util/check.h"
+
+#include <cstdint>
+
+namespace wsnq {
+namespace testing_internal {
+
+void DcheckDebugFires() {
+  const int64_t lhs = 3;
+  const int64_t rhs = 2;
+  WSNQ_DCHECK_LT(lhs, rhs);  // aborts: 3 < 2 is false
+}
+
+bool DcheckDebugPasses() {
+  int evaluations = 0;
+  WSNQ_DCHECK_EQ(++evaluations, 1);
+  WSNQ_DCHECK(evaluations == 1);
+  return evaluations == 1;  // evaluated exactly once
+}
+
+}  // namespace testing_internal
+}  // namespace wsnq

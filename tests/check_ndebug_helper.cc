@@ -1,0 +1,23 @@
+// Helper TU for check_test compiled with NDEBUG forced ON regardless of the
+// build type: proves that WSNQ_DCHECK* compiles away in release builds (the
+// condition is neither evaluated nor able to abort).
+
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace testing_internal {
+
+bool DcheckNdebugIsNoop() {
+  int evaluations = 0;
+  WSNQ_DCHECK(++evaluations > 0);
+  WSNQ_DCHECK_EQ(++evaluations, 12345);
+  WSNQ_DCHECK_LT(++evaluations, -1);
+  return evaluations == 0;  // no condition ran, nothing aborted
+}
+
+}  // namespace testing_internal
+}  // namespace wsnq

@@ -1,0 +1,78 @@
+// Death tests for the WSNQ_CHECK* / WSNQ_DCHECK* macros (util/check.h):
+// abort semantics, operand-value printing, single evaluation, and the
+// NDEBUG compile-away guarantee (via the check_*_helper.cc TUs, which force
+// NDEBUG on/off independently of the build type).
+
+#include "util/check.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+
+namespace wsnq {
+namespace testing_internal {
+bool DcheckNdebugIsNoop();   // check_ndebug_helper.cc (NDEBUG forced on)
+void DcheckDebugFires();     // check_debug_helper.cc (NDEBUG forced off)
+bool DcheckDebugPasses();    // check_debug_helper.cc
+}  // namespace testing_internal
+
+namespace {
+
+enum class Phase { kInit = 7, kRun = 8 };
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  WSNQ_CHECK(true);
+  WSNQ_CHECK_EQ(4, 4);
+  WSNQ_CHECK_NE(4, 5);
+  WSNQ_CHECK_LT(-1, 0);
+  WSNQ_CHECK_LE(0, 0);
+  WSNQ_CHECK_GT(1.5, 1.25);
+  WSNQ_CHECK_GE(int64_t{1} << 40, int64_t{1} << 40);
+}
+
+TEST(CheckTest, OperandsEvaluatedExactlyOnce) {
+  int lhs = 0;
+  int rhs = 0;
+  WSNQ_CHECK_EQ(++lhs, ++rhs);
+  EXPECT_EQ(lhs, 1);
+  EXPECT_EQ(rhs, 1);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithExpression) {
+  EXPECT_DEATH(WSNQ_CHECK(1 + 1 == 3), "CHECK failed at .*: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothIntegerOperands) {
+  const int64_t k = 3;
+  const int64_t l = 4;
+  EXPECT_DEATH(WSNQ_CHECK_EQ(k, l), "k == l .lhs=3, rhs=4.");
+  EXPECT_DEATH(WSNQ_CHECK_GE(k, l), "k >= l .lhs=3, rhs=4.");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsFloatBoolEnumOperands) {
+  EXPECT_DEATH(WSNQ_CHECK_GT(1.25, 2.5), "lhs=1.25, rhs=2.5");
+  EXPECT_DEATH(WSNQ_CHECK_EQ(true, false), "lhs=true, rhs=false");
+  EXPECT_DEATH(WSNQ_CHECK_EQ(Phase::kInit, Phase::kRun), "lhs=7, rhs=8");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsUnsignedAndMixedWidths) {
+  const uint64_t big = ~uint64_t{0};
+  EXPECT_DEATH(WSNQ_CHECK_EQ(big, uint64_t{0}),
+               "lhs=18446744073709551615, rhs=0");
+}
+
+TEST(CheckDeathTest, DcheckFiresWhenNdebugOff) {
+  EXPECT_DEATH(testing_internal::DcheckDebugFires(),
+               "lhs < rhs .lhs=3, rhs=2.");
+}
+
+TEST(CheckTest, DcheckEvaluatesOnceWhenNdebugOff) {
+  EXPECT_TRUE(testing_internal::DcheckDebugPasses());
+}
+
+TEST(CheckTest, DcheckCompilesAwayUnderNdebug) {
+  EXPECT_TRUE(testing_internal::DcheckNdebugIsNoop());
+}
+
+}  // namespace
+}  // namespace wsnq
