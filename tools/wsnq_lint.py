@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""wsnq-lint: repo-specific correctness rules generic tools can't express.
+
+Rules
+  raw-assert        No raw assert()/abort() outside src/util/check.h; all
+                    invariant checking goes through WSNQ_CHECK/WSNQ_DCHECK so
+                    failures are uniform, grep-able, and NDEBUG-aware.
+                    (static_assert and gtest's ASSERT_* are fine.)
+  raw-random        No rand()/srand()/std::random_device/std::mt19937 outside
+                    src/util/rng.*; every simulation must be bit-reproducible
+                    from a seed (see util/rng.h).
+  test-coverage     Every .cc under src/ is referenced (via its header path,
+                    e.g. "algo/hbc.h") by at least one test that is registered
+                    with wsnq_test() in tests/CMakeLists.txt.
+  include-guard     Every header uses the canonical guard derived from its
+                    repo-relative path: WSNQ_<DIR>_<FILE>_H_.
+  tracked-build     No generated build artifacts (build*/ trees, CMakeCache,
+                    object files ...) are tracked by git.
+
+Usage: wsnq_lint.py [--root REPO_ROOT] [--list-rules]
+Exit status: 0 when clean, 1 when any rule fires, 2 on usage error.
+
+Adding a rule: write a `check_<name>(root) -> list[Finding]` function and
+append it to CHECKS; docs/hardening.md describes the conventions.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from typing import List, NamedTuple
+
+# Directories scanned for C++ sources (relative to the repo root).
+CXX_ROOTS = ("src", "tests", "tools", "bench", "examples")
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative
+    line: int  # 1-based; 0 when the finding is file-level
+    rule: str
+    message: str
+
+
+def cxx_files(root: str):
+    for top in CXX_ROOTS:
+        top_abs = os.path.join(root, top)
+        if not os.path.isdir(top_abs):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def read_lines(root: str, rel: str) -> List[str]:
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        return f.readlines()
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string/char literals so the
+    pattern rules don't fire on prose or log text. Block comments spanning
+    lines are not handled; the codebase doesn't use them mid-code."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])(assert|abort)\s*\(")
+RAW_RANDOM_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(rand|srand)\s*\(|random_device|mt19937")
+
+
+def check_raw_assert(root: str) -> List[Finding]:
+    findings = []
+    for rel in cxx_files(root):
+        if rel == os.path.join("src", "util", "check.h"):
+            continue  # the one sanctioned abort() site
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if RAW_ASSERT_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "raw-assert",
+                    "use WSNQ_CHECK/WSNQ_DCHECK (util/check.h) instead of "
+                    "raw assert()/abort()"))
+    return findings
+
+
+def check_raw_random(root: str) -> List[Finding]:
+    findings = []
+    allowed = {os.path.join("src", "util", "rng.h"),
+               os.path.join("src", "util", "rng.cc")}
+    for rel in cxx_files(root):
+        if rel in allowed:
+            continue
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if RAW_RANDOM_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "raw-random",
+                    "use the deterministic wsnq::Rng (util/rng.h); "
+                    "rand()/std::random_device break reproducibility"))
+    return findings
+
+
+def check_test_coverage(root: str) -> List[Finding]:
+    findings = []
+    cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+    if not os.path.isfile(cmake_path):
+        return [Finding("tests/CMakeLists.txt", 0, "test-coverage",
+                        "missing tests/CMakeLists.txt")]
+    with open(cmake_path, encoding="utf-8") as f:
+        cmake = f.read()
+    registered = re.findall(r"wsnq_test\(\s*([A-Za-z0-9_]+)\s*\)", cmake)
+    corpus = ""
+    for name in registered:
+        test_rel = os.path.join("tests", name + ".cc")
+        if not os.path.isfile(os.path.join(root, test_rel)):
+            findings.append(Finding(
+                "tests/CMakeLists.txt", 0, "test-coverage",
+                f"registered test '{name}' has no tests/{name}.cc"))
+            continue
+        corpus += "".join(read_lines(root, test_rel))
+    for rel in cxx_files(root):
+        if not (rel.startswith("src" + os.sep) and rel.endswith(".cc")):
+            continue
+        header_ref = os.path.splitext(os.path.relpath(rel, "src"))[0] + ".h"
+        header_ref = header_ref.replace(os.sep, "/")
+        if header_ref not in corpus:
+            findings.append(Finding(
+                rel, 0, "test-coverage",
+                f"no registered test references '{header_ref}'; add or "
+                "extend a test in tests/ and register it with wsnq_test()"))
+    return findings
+
+
+GUARD_USE_RE = re.compile(r"^#ifndef\s+([A-Za-z0-9_]+)\s*$", re.MULTILINE)
+
+
+def expected_guard(rel: str) -> str:
+    stem = os.path.splitext(rel)[0]
+    parts = stem.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]  # src/ is the include root: src/algo/hbc.h -> ALGO_HBC
+    return "WSNQ_" + "_".join(p.upper() for p in parts) + "_H_"
+
+
+def check_include_guard(root: str) -> List[Finding]:
+    findings = []
+    for rel in cxx_files(root):
+        if not rel.endswith((".h", ".hpp")):
+            continue
+        text = "".join(read_lines(root, rel))
+        want = expected_guard(rel)
+        match = GUARD_USE_RE.search(text)
+        got = match.group(1) if match else None
+        if got != want or f"#define {want}" not in text:
+            findings.append(Finding(
+                rel, 0, "include-guard",
+                f"include guard must be {want} (found "
+                f"{got or 'no #ifndef guard'})"))
+    return findings
+
+
+TRACKED_BUILD_RE = re.compile(
+    r"^(build[^/]*|cmake-build-[^/]*|out)/"
+    r"|(^|/)(CMakeCache\.txt|CTestTestfile\.cmake|cmake_install\.cmake)$"
+    r"|(^|/)CMakeFiles/"
+    r"|\.(o|obj|a|so|dylib)$")
+
+
+def check_tracked_build(root: str) -> List[Finding]:
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "ls-files"],
+            capture_output=True, text=True, timeout=30, check=True).stdout
+    except (OSError, subprocess.SubprocessError):
+        return []  # not a git checkout (e.g. a tarball): nothing to enforce
+    findings = []
+    for tracked in out.splitlines():
+        if TRACKED_BUILD_RE.search(tracked):
+            findings.append(Finding(
+                tracked, 0, "tracked-build",
+                "generated build artifact is tracked by git; "
+                "`git rm --cached` it (see .gitignore)"))
+    return findings
+
+
+CHECKS = [
+    check_raw_assert,
+    check_raw_random,
+    check_test_coverage,
+    check_include_guard,
+    check_tracked_build,
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for check in CHECKS:
+            print(check.__name__.replace("check_", "", 1).replace("_", "-"))
+        return 0
+
+    if not os.path.isdir(os.path.join(args.root, "src")):
+        print(f"wsnq-lint: {args.root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    for check in CHECKS:
+        findings.extend(check(args.root))
+    for f in sorted(findings):
+        location = f"{f.path}:{f.line}" if f.line else f.path
+        print(f"{location}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"wsnq-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"wsnq-lint: clean ({len(CHECKS)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
