@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party C++ tree.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [path ...]      # default: src tests tools bench examples
+#
+# Environment:
+#   CLANG_TIDY            clang-tidy binary (default: clang-tidy)
+#   WSNQ_TIDY_BUILD_DIR   build tree with compile_commands.json
+#                         (default: <repo>/build; configured on demand)
+#
+# Exit status: 0 when clean or when clang-tidy is unavailable (the tool is
+# gated, not vendored — CI installs it; see docs/hardening.md), 1 on any
+# diagnostic (WarningsAsErrors: '*').
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${WSNQ_TIDY_BUILD_DIR:-${ROOT}/build}"
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: ${TIDY_BIN} not found; skipping (install clang-tidy to enable the gate)" >&2
+  exit 0
+fi
+
+cd "${ROOT}"
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_clang_tidy: configuring ${BUILD_DIR} for compile_commands.json" >&2
+  cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+targets=("$@")
+if [ "${#targets[@]}" -eq 0 ]; then
+  targets=(src tests tools bench examples)
+fi
+
+mapfile -t files < <(find "${targets[@]}" \( -name '*.cc' -o -name '*.cpp' \) | sort)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no C++ sources under: ${targets[*]}" >&2
+  exit 0
+fi
+
+echo "run_clang_tidy: ${#files[@]} files, $(nproc) jobs" >&2
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 4 -P "$(nproc)" "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet
+echo "run_clang_tidy: clean" >&2
