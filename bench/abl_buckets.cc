@@ -25,13 +25,14 @@ wsnq::ProtocolFactory HbcWithBuckets(const std::string& label, int buckets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig base = bench::DefaultSyntheticConfig();
   // A fast-moving quantile over a large universe keeps refinements frequent
   // enough for the bucket count to matter.
   base.synthetic.range_max = 65535;
   base.synthetic.period_rounds = 32;
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   const std::vector<ProtocolFactory> factories = {
       HbcWithBuckets("HBC-b2", 2),    HbcWithBuckets("HBC-b4", 4),
       HbcWithBuckets("HBC-b8", 8),    HbcWithBuckets("HBC-bW", 0),

@@ -8,9 +8,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   return bench::RunSweep(
       "abl-hbc", "synthetic", "period", {"250", "63", "8"}, base,
       {AlgorithmKind::kHbc, AlgorithmKind::kHbcNtb, AlgorithmKind::kPos},

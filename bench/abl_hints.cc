@@ -11,9 +11,10 @@
 #include "algo/pos.h"
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
 
   std::vector<ProtocolFactory> factories;
   for (bool hints : {true, false}) {

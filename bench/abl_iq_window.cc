@@ -28,9 +28,10 @@ wsnq::ProtocolFactory IqFactory(const std::string& label, int m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   const std::vector<ProtocolFactory> factories = {
       IqFactory("IQ-m2", 2, IqProtocol::InitStrategy::kMeanGap),
       IqFactory("IQ-m4", 4, IqProtocol::InitStrategy::kMeanGap),

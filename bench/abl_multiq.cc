@@ -3,6 +3,7 @@
 // MultiIqProtocol. Headers dominate small packets, so sharing one packet
 // per node per round across ranks is where the saving lives.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -10,10 +11,12 @@
 #include "algo/multi_quantile.h"
 #include "core/config.h"
 #include "core/scenario.h"
+#include "bench/bench_common.h"
 #include "core/experiment.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig config;
   config.num_sensors = 256;
@@ -21,16 +24,22 @@ int main() {
   config.rounds = RoundsFromEnv(250);
   config.synthetic.period_rounds = 125;
   config.synthetic.noise_percent = 5;
+  if (!bench::ParseCommonFlags(argc, argv, &config)) return 2;
   const int runs = RunsFromEnv(20);
 
-  RunningStat shared_energy, shared_packets;
-  RunningStat indep_energy, indep_packets;
-  for (int run = 0; run < runs; ++run) {
+  // Per-run measurements, filled by the pool and folded in run order so
+  // the output matches the serial path bit-for-bit.
+  struct RunRow {
+    double shared_energy = 0.0, shared_packets = 0.0;
+    double indep_energy = 0.0, indep_packets = 0.0;
+  };
+  std::vector<RunRow> per_run(static_cast<size_t>(runs));
+  ThreadPool pool(std::min<int>(ResolveThreads(config.threads), runs));
+  const Status status = pool.ParallelFor(runs, [&](int64_t run_index) -> Status {
+    const int run = static_cast<int>(run_index);
+    RunRow& out = per_run[static_cast<size_t>(run)];
     auto scenario = BuildScenario(config, run);
-    if (!scenario.ok()) {
-      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
-      return 1;
-    }
+    if (!scenario.ok()) return scenario.status();
     Network* net = scenario.value().network.get();
     const int64_t n = net->num_sensors();
     const std::vector<int64_t> ks = {n / 4, n / 2, 3 * n / 4};
@@ -46,9 +55,9 @@ int main() {
       multi.RunRound(net, scenario.value().ValuesByVertex(t), t);
       max_round_sum += net->MaxRoundEnergyOverSensors();
     }
-    shared_energy.Add(max_round_sum / (config.rounds + 1));
-    shared_packets.Add(static_cast<double>(net->total_packets()) /
-                       (config.rounds + 1));
+    out.shared_energy = max_round_sum / (config.rounds + 1);
+    out.shared_packets =
+        static_cast<double>(net->total_packets()) / (config.rounds + 1);
 
     // Three independent IQ queries; energies add up at every node, so the
     // hotspot draw is the per-round max of the summed consumption.
@@ -85,9 +94,23 @@ int main() {
       }
       indep_sum += round_max;
     }
-    indep_energy.Add(indep_sum / (config.rounds + 1));
-    indep_packets.Add(static_cast<double>(total_packets) /
-                      (config.rounds + 1));
+    out.indep_energy = indep_sum / (config.rounds + 1);
+    out.indep_packets =
+        static_cast<double>(total_packets) / (config.rounds + 1);
+    return Status::Ok();
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  RunningStat shared_energy, shared_packets;
+  RunningStat indep_energy, indep_packets;
+  for (const RunRow& row : per_run) {
+    shared_energy.Add(row.shared_energy);
+    shared_packets.Add(row.shared_packets);
+    indep_energy.Add(row.indep_energy);
+    indep_packets.Add(row.indep_packets);
   }
 
   std::printf("%-10s %-14s %14s %10s\n", "figure", "variant",

@@ -9,9 +9,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   return bench::RunSweep(
       "abl-sr", "synthetic", "period", {"250", "125", "63", "32", "8"}, base,
       {AlgorithmKind::kPos, AlgorithmKind::kPosSr, AlgorithmKind::kIq},

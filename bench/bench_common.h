@@ -1,17 +1,20 @@
 // Shared scaffolding of the figure-reproduction benches: default paper
-// configuration (§5.1.7) and the sweep loop that prints one report row per
-// (x-value, algorithm).
+// configuration (§5.1.7), common command-line flags, and the sweep loop
+// that prints one report row per (x-value, algorithm).
 
 #ifndef WSNQ_BENCH_BENCH_COMMON_H_
 #define WSNQ_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "util/flags.h"
 
 namespace wsnq {
 namespace bench {
@@ -27,8 +30,34 @@ inline SimulationConfig DefaultSyntheticConfig() {
   return config;
 }
 
+/// Parses the flags every bench shares into `config`:
+///   --threads=N   worker threads for multi-run experiments (0 = auto via
+///                 WSNQ_THREADS / hardware concurrency, 1 = serial); the
+///                 aggregate rows are bit-identical for every value.
+/// Returns false (after printing to stderr) on malformed values or unknown
+/// flags, so typos fail the bench instead of silently running defaults.
+inline bool ParseCommonFlags(int argc, const char* const* argv,
+                             SimulationConfig* config) {
+  FlagParser flags(argc, argv);
+  config->threads =
+      static_cast<int>(flags.GetInt("threads", config->threads));
+  bool ok = true;
+  for (const std::string& error : flags.errors()) {
+    std::fprintf(stderr, "flag error: %s\n", error.c_str());
+    ok = false;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "unknown flag: --%s (supported: --threads=N)\n",
+                 unused.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
 /// Runs one x-axis sweep over labeled protocol factories and prints rows.
-/// `configure` mutates the base config for a given x-value.
+/// `configure` mutates the base config for a given x-value. Prints a
+/// timing footer to stderr (see PrintTimingFooter) so speedups from
+/// --threads can be recorded without touching the deterministic stdout.
 inline int RunSweep(
     const std::string& figure, const std::string& dataset,
     const std::string& x_name, const std::vector<std::string>& x_values,
@@ -37,6 +66,7 @@ inline int RunSweep(
     const std::function<void(const std::string&, SimulationConfig*)>&
         configure) {
   const int runs = RunsFromEnv(20);
+  const auto start = std::chrono::steady_clock::now();
   PrintReportHeader();
   int64_t total_errors = 0;
   for (const std::string& x : x_values) {
@@ -53,6 +83,12 @@ inline int RunSweep(
       total_errors += agg.errors;
     }
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const char* baseline_env = std::getenv("WSNQ_BASELINE_WALL_S");
+  PrintTimingFooter(figure, ResolveThreads(base.threads), runs, wall_seconds,
+                    baseline_env != nullptr ? std::atof(baseline_env) : 0.0);
   if (total_errors != 0) {
     std::fprintf(stderr, "ORACLE MISMATCHES: %lld\n",
                  static_cast<long long>(total_errors));

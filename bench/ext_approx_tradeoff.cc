@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "algo/approximate.h"
+#include "bench/bench_common.h"
 #include "core/experiment.h"
 
 namespace {
@@ -49,13 +50,14 @@ ProtocolFactory Sample(const std::string& label, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   SimulationConfig config;
   config.num_sensors = 256;
   config.radio_range = 35.0;
   config.rounds = RoundsFromEnv(250);
   config.synthetic.period_rounds = 125;
   config.synthetic.noise_percent = 5;
+  if (!bench::ParseCommonFlags(argc, argv, &config)) return 2;
   const int runs = RunsFromEnv(20);
 
   const std::vector<ProtocolFactory> factories = {

@@ -5,18 +5,35 @@
 // Refinement-heavy protocols pay serial round trips: an energy-cheap round
 // can still be slow, which matters when the sampling period is short.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "algo/registry.h"
+#include "bench/bench_common.h"
 #include "core/config.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "core/experiment.h"
 #include "net/schedule.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
-int main() {
+namespace {
+
+// One run's per-algorithm measurements; folded into the RunningStats on
+// the main thread in run order (see util/thread_pool.h).
+struct RunRow {
+  double floods = 0.0;
+  double ccs = 0.0;
+  double slots = 0.0;
+  double energy = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig config;
   config.num_sensors = 256;
@@ -24,6 +41,7 @@ int main() {
   config.rounds = RoundsFromEnv(250);
   config.synthetic.period_rounds = 63;  // some movement every round
   config.synthetic.noise_percent = 5;
+  if (!bench::ParseCommonFlags(argc, argv, &config)) return 2;
   const int runs = RunsFromEnv(20);
 
   std::printf("%-10s %-9s %12s %12s %14s %14s\n", "figure", "algo",
@@ -34,12 +52,12 @@ int main() {
   const auto algorithms = PaperAlgorithms();
   std::vector<Row> rows(algorithms.size());
 
-  for (int run = 0; run < runs; ++run) {
-    auto scenario = BuildScenario(config, run);
-    if (!scenario.ok()) {
-      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
-      return 1;
-    }
+  std::vector<std::vector<RunRow>> per_run(
+      static_cast<size_t>(runs), std::vector<RunRow>(algorithms.size()));
+  ThreadPool pool(std::min<int>(ResolveThreads(config.threads), runs));
+  const Status status = pool.ParallelFor(runs, [&](int64_t run) -> Status {
+    auto scenario = BuildScenario(config, static_cast<int>(run));
+    if (!scenario.ok()) return scenario.status();
     Network* net = scenario.value().network.get();
     const TdmaSchedule schedule(net->graph(), net->tree());
     const double cc_slots =
@@ -54,18 +72,28 @@ int main() {
       const SimulationResult result = RunSimulation(
           scenario.value(), protocol.get(), config.rounds, true);
       if (result.errors != 0) {
-        std::fprintf(stderr, "exactness violated!\n");
-        return 1;
+        return Status::Internal("exactness violated!");
       }
       const double rounds = static_cast<double>(config.rounds + 1);
-      const double floods =
-          static_cast<double>(net->total_floods()) / rounds;
-      const double ccs =
-          static_cast<double>(net->total_convergecasts()) / rounds;
-      rows[i].floods.Add(floods);
-      rows[i].ccs.Add(ccs);
-      rows[i].slots.Add(floods * flood_slots + ccs * cc_slots);
-      rows[i].energy.Add(result.mean_max_round_energy_mj);
+      RunRow& row = per_run[static_cast<size_t>(run)][i];
+      row.floods = static_cast<double>(net->total_floods()) / rounds;
+      row.ccs = static_cast<double>(net->total_convergecasts()) / rounds;
+      row.slots = row.floods * flood_slots + row.ccs * cc_slots;
+      row.energy = result.mean_max_round_energy_mj;
+    }
+    return Status::Ok();
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (int run = 0; run < runs; ++run) {
+    for (size_t i = 0; i < algorithms.size(); ++i) {
+      const RunRow& row = per_run[static_cast<size_t>(run)][i];
+      rows[i].floods.Add(row.floods);
+      rows[i].ccs.Add(row.ccs);
+      rows[i].slots.Add(row.slots);
+      rows[i].energy.Add(row.energy);
     }
   }
   for (size_t i = 0; i < algorithms.size(); ++i) {

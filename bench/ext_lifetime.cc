@@ -4,19 +4,24 @@
 // survivors — so we can report when 1 / 10% / 25% of the network is gone
 // and how many exact answers the network produced before thinning to half.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "core/experiment.h"
 #include "core/lifetime.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig config;
   config.num_sensors = 128;  // smaller net -> battery game ends sooner
   config.radio_range = 40.0;
   config.synthetic.period_rounds = 125;
   config.synthetic.noise_percent = 5;
+  if (!bench::ParseCommonFlags(argc, argv, &config)) return 2;
   const int runs = RunsFromEnv(10);
   LifetimeOptions options;
   options.max_rounds = 20000;
@@ -24,15 +29,24 @@ int main() {
   std::printf("%-10s %-9s %12s %12s %12s %12s %12s %10s\n", "figure",
               "algo", "first_death", "p10_death", "p25_death",
               "exact_rounds", "total_rounds", "epochs");
+  ThreadPool pool(std::min<int>(ResolveThreads(config.threads), runs));
   for (AlgorithmKind kind : PaperAlgorithms()) {
     RunningStat first, p10, p25, exact, total, epochs;
-    for (int run = 0; run < runs; ++run) {
-      auto result = RunLifetimeSimulation(config, kind, run, options);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      const LifetimeResult& r = result.value();
+    // Runs fan out over the pool into index-addressed slots; the fold
+    // below walks them in run order, matching the serial path exactly.
+    std::vector<LifetimeResult> per_run(static_cast<size_t>(runs));
+    const Status status = pool.ParallelFor(runs, [&](int64_t run) -> Status {
+      auto result =
+          RunLifetimeSimulation(config, kind, static_cast<int>(run), options);
+      if (!result.ok()) return result.status();
+      per_run[static_cast<size_t>(run)] = std::move(result).value();
+      return Status::Ok();
+    });
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    for (const LifetimeResult& r : per_run) {
       if (r.first_death_round >= 0) {
         first.Add(static_cast<double>(r.first_death_round));
       }

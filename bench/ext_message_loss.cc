@@ -13,9 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig base;
   base.num_sensors = 256;
@@ -23,6 +24,7 @@ int main() {
   base.rounds = RoundsFromEnv(250);
   base.synthetic.period_rounds = 125;
   base.synthetic.noise_percent = 5;
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   const int runs = RunsFromEnv(20);
 
   std::printf("%-10s %-9s %-9s %14s %14s %14s %10s\n", "figure",

@@ -8,10 +8,11 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig base = bench::DefaultSyntheticConfig();
   base.synthetic.noise_percent = 10;
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   return bench::RunSweep(
       "ext-phi", "synthetic", "phi",
       {"0.01", "0.10", "0.25", "0.50", "0.75", "0.90", "0.99"}, base,

@@ -11,13 +11,14 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig base;
   base.dataset = DatasetKind::kPressure;
   base.pressure.num_stations = 1022;
   base.radio_range = 35.0;
   base.rounds = RoundsFromEnv(250);
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
 
   int exit_code = 0;
   for (const char* setting : {"optimistic", "pessimistic"}) {

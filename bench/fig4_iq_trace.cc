@@ -9,10 +9,11 @@
 
 #include "algo/iq.h"
 #include "algo/oracle.h"
+#include "bench/bench_common.h"
 #include "core/config.h"
 #include "core/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig config;
   config.dataset = DatasetKind::kPressure;
@@ -20,6 +21,9 @@ int main() {
   config.pressure.skip = 3;  // visible quantile movement over 125 rounds
   config.radio_range = 35.0;
   config.rounds = 125;
+  // Single-scenario trace: --threads is accepted for CLI uniformity but
+  // there is no multi-run fan-out here.
+  if (!bench::ParseCommonFlags(argc, argv, &config)) return 2;
 
   StatusOr<Scenario> scenario = BuildScenario(config, /*run=*/0);
   if (!scenario.ok()) {

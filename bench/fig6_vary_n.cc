@@ -8,9 +8,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
   SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   // Keep the smallest population connected at rho = 35 m.
   return bench::RunSweep(
       "fig6", "synthetic", "nodes", {"64", "128", "256", "512", "1024"}, base,

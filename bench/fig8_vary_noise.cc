@@ -8,9 +8,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   return bench::RunSweep(
       "fig8", "synthetic", "noise_pct", {"0", "5", "10", "20", "50"}, base,
       PaperAlgorithms(), [](const std::string& x, SimulationConfig* config) {

@@ -7,9 +7,10 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
-  const SimulationConfig base = bench::DefaultSyntheticConfig();
+  SimulationConfig base = bench::DefaultSyntheticConfig();
+  if (!bench::ParseCommonFlags(argc, argv, &base)) return 2;
   return bench::RunSweep(
       "fig9", "synthetic", "radio_m", {"15", "35", "60", "85"}, base,
       PaperAlgorithms(), [](const std::string& x, SimulationConfig* config) {

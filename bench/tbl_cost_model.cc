@@ -7,9 +7,14 @@
 #include <initializer_list>
 
 #include "algo/cost_model.h"
+#include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsnq;
+  // Closed-form table: --threads is accepted for CLI uniformity but no
+  // simulation runs here.
+  SimulationConfig flag_sink;
+  if (!bench::ParseCommonFlags(argc, argv, &flag_sink)) return 2;
   std::printf("%-10s %-6s %-6s %-10s %8s %6s %12s %12s %12s\n", "header_B",
               "s_r", "s_b", "universe", "b_exact", "b_opt", "cost_exact",
               "cost_opt", "cost_binary");

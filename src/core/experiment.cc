@@ -6,6 +6,7 @@
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wsnq {
 
@@ -18,6 +19,46 @@ ProtocolFactory DefaultFactory(AlgorithmKind kind) {
       }};
 }
 
+namespace {
+
+/// Folds one run's simulation result into an aggregate. Must be called in
+/// run-index order on a single thread: RunningStat accumulation is
+/// order-sensitive in floating point, and the bit-identical guarantee of
+/// the parallel path rests on this fold replaying the exact Add sequence
+/// of the serial path.
+void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg) {
+  agg->max_round_energy_mj.Add(result.mean_max_round_energy_mj);
+  agg->lifetime_rounds.Add(result.lifetime_rounds);
+  agg->packets.Add(result.mean_packets);
+  agg->values.Add(result.mean_values);
+  agg->refinements.Add(result.mean_refinements);
+  agg->rank_error.Add(result.mean_rank_error);
+  agg->max_rank_error = std::max(agg->max_rank_error, result.max_rank_error);
+  agg->errors += result.errors;
+  ++agg->runs;
+}
+
+/// Builds run `run`'s scenario and replays every factory's protocol over
+/// it, writing one result per factory into `results` (pre-sized). The
+/// factories of one run share the scenario's Network, so they execute
+/// serially inside the run's task; parallelism is across runs only.
+Status ExecuteRun(const SimulationConfig& config,
+                  const std::vector<ProtocolFactory>& factories, int run,
+                  std::vector<SimulationResult>* results) {
+  StatusOr<Scenario> scenario = BuildScenario(config, run);
+  if (!scenario.ok()) return scenario.status();
+  for (size_t i = 0; i < factories.size(); ++i) {
+    std::unique_ptr<QuantileProtocol> protocol = factories[i].make(
+        scenario.value().k, scenario.value().source->range_min(),
+        scenario.value().source->range_max(), config.wire);
+    (*results)[i] = RunSimulation(scenario.value(), protocol.get(),
+                                  config.rounds, config.check_oracle);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     const SimulationConfig& config,
     const std::vector<ProtocolFactory>& factories, int runs) {
@@ -27,27 +68,40 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     aggregates[i].label = factories[i].label;
   }
 
+  const int threads = std::min<int>(ResolveThreads(config.threads), runs);
+  if (threads <= 1) {
+    // Legacy serial path (--threads=1): build, replay, and fold one run at
+    // a time; aborts on the first scenario failure.
+    std::vector<SimulationResult> results(factories.size());
+    for (int run = 0; run < runs; ++run) {
+      Status status = ExecuteRun(config, factories, run, &results);
+      if (!status.ok()) return status;
+      for (size_t i = 0; i < factories.size(); ++i) {
+        FoldRun(results[i], &aggregates[i]);
+      }
+    }
+    return aggregates;
+  }
+
+  // Parallel path: independent runs fan out over the deterministic pool
+  // (each run re-derives its seeds from (config.seed, run), so no state is
+  // shared between tasks); results land in index-addressed slots and are
+  // folded on this thread in run order — the same floating-point Add
+  // sequence as the serial path, hence bit-identical aggregates for any
+  // thread count. On failure ParallelFor reports the smallest failing run
+  // index, matching the serial path's first-failure Status.
+  std::vector<std::vector<SimulationResult>> results(
+      static_cast<size_t>(runs),
+      std::vector<SimulationResult>(factories.size()));
+  ThreadPool pool(threads);
+  Status status = pool.ParallelFor(runs, [&](int64_t run) {
+    return ExecuteRun(config, factories, static_cast<int>(run),
+                      &results[static_cast<size_t>(run)]);
+  });
+  if (!status.ok()) return status;
   for (int run = 0; run < runs; ++run) {
-    StatusOr<Scenario> scenario = BuildScenario(config, run);
-    if (!scenario.ok()) return scenario.status();
     for (size_t i = 0; i < factories.size(); ++i) {
-      std::unique_ptr<QuantileProtocol> protocol = factories[i].make(
-          scenario.value().k, scenario.value().source->range_min(),
-          scenario.value().source->range_max(), config.wire);
-      const SimulationResult result =
-          RunSimulation(scenario.value(), protocol.get(), config.rounds,
-                        config.check_oracle);
-      AlgorithmAggregate& agg = aggregates[i];
-      agg.max_round_energy_mj.Add(result.mean_max_round_energy_mj);
-      agg.lifetime_rounds.Add(result.lifetime_rounds);
-      agg.packets.Add(result.mean_packets);
-      agg.values.Add(result.mean_values);
-      agg.refinements.Add(result.mean_refinements);
-      agg.rank_error.Add(result.mean_rank_error);
-      agg.max_rank_error =
-          std::max(agg.max_rank_error, result.max_rank_error);
-      agg.errors += result.errors;
-      ++agg.runs;
+      FoldRun(results[static_cast<size_t>(run)][i], &aggregates[i]);
     }
   }
   return aggregates;
@@ -62,6 +116,10 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     factories.push_back(DefaultFactory(kind));
   }
   return RunExperiment(config, factories, runs);
+}
+
+int ResolveThreads(int requested) {
+  return requested > 0 ? requested : ThreadPool::DefaultThreadCount();
 }
 
 namespace {

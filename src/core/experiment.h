@@ -49,6 +49,14 @@ ProtocolFactory DefaultFactory(AlgorithmKind kind);
 /// Runs `runs` scenarios under `config`, replaying every factory's protocol
 /// over each; returns one aggregate per factory (in input order). Fails
 /// only if scenario construction fails.
+///
+/// Independent runs are distributed over a deterministic thread pool
+/// (util/thread_pool.h) when `config.threads` resolves to more than one
+/// thread. Each run re-derives its random streams from (config.seed, run)
+/// and its per-run results are folded into the aggregates on the calling
+/// thread in run-index order, so the returned aggregates are bit-identical
+/// to the serial path for every thread count (tests/
+/// parallel_determinism_test.cc holds this to exact equality).
 StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     const SimulationConfig& config,
     const std::vector<ProtocolFactory>& factories, int runs);
@@ -57,6 +65,11 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
 StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     const SimulationConfig& config,
     const std::vector<AlgorithmKind>& algorithms, int runs);
+
+/// Resolves a SimulationConfig::threads request to a concrete thread
+/// count: positive values pass through; 0 becomes the WSNQ_THREADS env
+/// override or hardware_concurrency.
+int ResolveThreads(int requested);
 
 /// Environment override helpers for benches: WSNQ_RUNS / WSNQ_ROUNDS.
 int RunsFromEnv(int fallback);

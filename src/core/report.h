@@ -21,6 +21,15 @@ void PrintReportRow(const std::string& figure, const std::string& dataset,
                     const std::string& x_name, const std::string& x_value,
                     const AlgorithmAggregate& aggregate);
 
+/// Prints a wall-clock timing footer to stderr (stderr so that stdout
+/// stays byte-identical across thread counts — the aggregate rows are
+/// deterministic, the timing is not). When `baseline_wall_seconds` is
+/// positive (a recorded --threads=1 wall clock, see bench_common.h's
+/// WSNQ_BASELINE_WALL_S), also prints the measured speedup so
+/// EXPERIMENTS.md can record the parallel win.
+void PrintTimingFooter(const std::string& figure, int threads, int runs,
+                       double wall_seconds, double baseline_wall_seconds);
+
 }  // namespace wsnq
 
 #endif  // WSNQ_CORE_REPORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -16,7 +17,12 @@ RadioGraph::RadioGraph(std::vector<Point2D> points, double rho)
   adjacency_.assign(static_cast<size_t>(n), {});
   if (n == 0) return;
 
-  // Bounding box and grid with cell size rho.
+  // Bounding box and grid with cell size >= rho: the +-1-cell neighbour
+  // scan below only needs the cell to be at least rho wide, so a
+  // degenerate rho (orders of magnitude below the point spread) widens the
+  // cell instead of requesting a grid with more cells than memory — with
+  // rho = 0.001 over a 200 m area, cell size rho would mean 4e10 cells and
+  // an int overflow in cols * rows.
   double min_x = points_[0].x, max_x = points_[0].x;
   double min_y = points_[0].y, max_y = points_[0].y;
   for (const auto& p : points_) {
@@ -25,19 +31,28 @@ RadioGraph::RadioGraph(std::vector<Point2D> points, double rho)
     min_y = std::min(min_y, p.y);
     max_y = std::max(max_y, p.y);
   }
-  const int cols =
-      std::max(1, static_cast<int>(std::floor((max_x - min_x) / rho)) + 1);
-  const int rows =
-      std::max(1, static_cast<int>(std::floor((max_y - min_y) / rho)) + 1);
+  const int64_t max_cells = std::max<int64_t>(64, 4 * static_cast<int64_t>(n));
+  double cell = rho;
+  auto grid_dim = [](double span, double cell_size) {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(span / cell_size)) + 1);
+  };
+  while (grid_dim(max_x - min_x, cell) * grid_dim(max_y - min_y, cell) >
+         max_cells) {
+    cell *= 2.0;
+  }
+  const int cols = static_cast<int>(grid_dim(max_x - min_x, cell));
+  const int rows = static_cast<int>(grid_dim(max_y - min_y, cell));
   auto cell_of = [&](const Point2D& p) {
-    int cx = static_cast<int>((p.x - min_x) / rho);
-    int cy = static_cast<int>((p.y - min_y) / rho);
+    int cx = static_cast<int>((p.x - min_x) / cell);
+    int cy = static_cast<int>((p.y - min_y) / cell);
     cx = std::clamp(cx, 0, cols - 1);
     cy = std::clamp(cy, 0, rows - 1);
     return cy * cols + cx;
   };
 
-  std::vector<std::vector<int>> cells(static_cast<size_t>(cols * rows));
+  std::vector<std::vector<int>> cells(static_cast<size_t>(cols) *
+                                      static_cast<size_t>(rows));
   for (int v = 0; v < n; ++v) {
     cells[static_cast<size_t>(cell_of(points_[static_cast<size_t>(v)]))]
         .push_back(v);
@@ -46,9 +61,9 @@ RadioGraph::RadioGraph(std::vector<Point2D> points, double rho)
   const double rho_sq = rho * rho;
   for (int v = 0; v < n; ++v) {
     const Point2D& p = points_[static_cast<size_t>(v)];
-    const int cx = std::clamp(static_cast<int>((p.x - min_x) / rho), 0,
+    const int cx = std::clamp(static_cast<int>((p.x - min_x) / cell), 0,
                               cols - 1);
-    const int cy = std::clamp(static_cast<int>((p.y - min_y) / rho), 0,
+    const int cy = std::clamp(static_cast<int>((p.y - min_y) / cell), 0,
                               rows - 1);
     for (int dy = -1; dy <= 1; ++dy) {
       for (int dx = -1; dx <= 1; ++dx) {

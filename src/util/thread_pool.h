@@ -1,0 +1,94 @@
+// Fixed-size, work-stealing-free thread pool for deterministic fan-out.
+//
+// The only scheduling primitive is ParallelFor over an index range: threads
+// claim indices in increasing order from one shared counter, and the caller
+// decides where each index's result goes (typically a pre-sized,
+// index-addressed slot). The set of (index -> result) pairs — and the Status
+// ParallelFor returns — is therefore independent of thread count and of how
+// the OS schedules the workers. Any order-sensitive reduction (floating-point
+// folds, RunningStat accumulation) belongs on the calling thread, after
+// ParallelFor returns; core/experiment.cc is the canonical example.
+//
+// All parallelism in this repo goes through this pool: wsnq-lint forbids raw
+// std::thread / std::async outside src/util/thread_pool.*.
+
+#ifndef WSNQ_UTIL_THREAD_POOL_H_
+#define WSNQ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wsnq {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs ParallelFor on `num_threads` threads, the
+  /// calling thread included. Values below 1 are clamped to 1; a pool of
+  /// size 1 starts no worker threads and ParallelFor degenerates to an
+  /// inline serial loop in index order.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes fn(0) .. fn(n-1), each exactly once, and blocks until every
+  /// invocation has finished. The calling thread participates. Indices are
+  /// claimed in increasing order, so each thread executes a strictly
+  /// increasing subsequence of [0, n). `fn` must tolerate concurrent
+  /// invocation on distinct indices. Returns OK if every invocation
+  /// returned OK, otherwise the Status of the smallest failing index — a
+  /// deterministic choice, independent of scheduling; later indices still
+  /// run after a failure. Calls on the same pool serialize; calling
+  /// ParallelFor from inside `fn` on the same pool deadlocks (spin up a
+  /// separate pool for nested fan-out).
+  Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn);
+
+  /// Thread count used when the caller does not pin one: WSNQ_THREADS when
+  /// set to a positive integer, else std::thread::hardware_concurrency(),
+  /// else 1.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices of the in-flight job until none remain.
+  /// Called with mu_ not held.
+  void RunChunk();
+
+  const int num_threads_;
+
+  std::mutex run_mu_;  ///< serializes whole ParallelFor calls
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new job or shutdown
+  std::condition_variable done_cv_;  ///< caller: current job drained
+  uint64_t epoch_ = 0;               ///< bumped once per ParallelFor
+  bool shutdown_ = false;
+  int active_ = 0;  ///< workers currently inside RunChunk
+
+  // State of the in-flight job. job_fn_ / job_n_ are written under mu_
+  // before the epoch bump and stay frozen until the caller observed
+  // completed_ == job_n_ and active_ == 0, so RunChunk may read them
+  // without the lock.
+  const std::function<Status(int64_t)>* job_fn_ = nullptr;
+  int64_t job_n_ = 0;
+  std::atomic<int64_t> next_{0};
+  int64_t completed_ = 0;     ///< guarded by mu_
+  int64_t error_index_ = -1;  ///< guarded by mu_; smallest failing index
+  Status error_status_;       ///< guarded by mu_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_UTIL_THREAD_POOL_H_

@@ -1,9 +1,11 @@
 // Exhaustive / parameterized property sweeps over the substrate primitives:
 // packetizer arithmetic, bucket-layout partitioning, energy accounting
-// conservation, and collection-helper invariants under randomized inputs.
+// conservation, collection-helper invariants under randomized inputs, and a
+// many-seed end-to-end exactness sweep driven through the thread pool.
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -12,9 +14,14 @@
 #include "algo/common.h"
 #include "algo/hist_codec.h"
 #include "algo/oracle.h"
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/experiment.h"
 #include "net/packetizer.h"
 #include "tests/test_scenario.h"
 #include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace wsnq {
 namespace {
@@ -202,6 +209,59 @@ TEST(CollectionProperty, TopFMatchesBruteForce) {
     }
     ASSERT_EQ(got, expected) << "trial " << trial;
   }
+}
+
+// Checks one seed's experiment end to end; returns a non-OK Status naming
+// the seed and protocol on any exactness violation, so the pool surfaces
+// the smallest failing seed deterministically.
+Status CheckSeedIsExact(const SimulationConfig& base, uint64_t seed) {
+  SimulationConfig config = base;
+  config.seed = seed;
+  config.threads = 1;  // the sweep itself is the parallel dimension
+  auto aggregates = RunExperiment(config, PaperAlgorithms(), 1);
+  if (!aggregates.ok()) return aggregates.status();
+  for (const AlgorithmAggregate& agg : aggregates.value()) {
+    if (agg.errors != 0 || agg.max_rank_error != 0) {
+      return Status::Internal(
+          "seed " + std::to_string(seed) + " algo " + agg.label +
+          ": errors=" + std::to_string(agg.errors) +
+          " max_rank_error=" + std::to_string(agg.max_rank_error));
+    }
+  }
+  return Status::Ok();
+}
+
+TEST(SeedSweep, SyntheticExactForManySeedsThroughThePool) {
+  // 64 fresh topologies + traces, fanned out over the pool: every protocol
+  // must answer every round exactly (the paper's correctness claim), and a
+  // violation reports its smallest seed regardless of scheduling.
+  SimulationConfig base;
+  base.num_sensors = 24;
+  base.radio_range = 70.0;
+  base.rounds = 8;
+  constexpr int64_t kSeeds = 64;
+  ThreadPool pool(4);
+  const Status status = pool.ParallelFor(kSeeds, [&](int64_t i) {
+    return CheckSeedIsExact(base, static_cast<uint64_t>(i + 1));
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(SeedSweep, PressureExactForManySeedsThroughThePool) {
+  SimulationConfig base;
+  base.dataset = DatasetKind::kPressure;
+  base.pressure.num_stations = 30;
+  // SOM station layouts are sparser than uniform placements; a generous
+  // range keeps all 16 seeds connectable.
+  base.radio_range = 110.0;
+  base.pressure_scale_bits = 12;
+  base.rounds = 6;
+  constexpr int64_t kSeeds = 16;
+  ThreadPool pool(4);
+  const Status status = pool.ParallelFor(kSeeds, [&](int64_t i) {
+    return CheckSeedIsExact(base, static_cast<uint64_t>(i + 1));
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
 }
 
 TEST(OracleProperty, CountsConsistentWithKth) {

@@ -1,0 +1,200 @@
+// Unit and stress tests of the deterministic thread pool
+// (util/thread_pool.h): ordering guarantees, Status propagation, size-1 ==
+// inline execution, reuse across jobs, nested pools, and churn/contention
+// cases sized so that ThreadSanitizer would catch a real race in the
+// claim/complete/handshake logic (this binary is part of the tsan CI job).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace wsnq {
+namespace {
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  const Status status = pool.ParallelFor(16, [&](int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: inline execution is single-threaded
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  // Inline execution is strictly in index order.
+  ASSERT_EQ(order.size(), 16u);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveSizesToOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  const Status status = pool.ParallelFor(0, [&](int64_t) {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ExecutesEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 500;
+    std::vector<std::atomic<int>> counts(kN);
+    const Status status = pool.ParallelFor(kN, [&](int64_t i) {
+      counts[static_cast<size_t>(i)].fetch_add(1);
+      return Status::Ok();
+    });
+    EXPECT_TRUE(status.ok());
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[static_cast<size_t>(i)].load(), 1)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EachThreadClaimsAnIncreasingSubsequence) {
+  // Indices are claimed from one shared counter, so every thread's
+  // execution order is a strictly increasing subsequence of [0, n) — the
+  // pool's "no work stealing" ordering guarantee.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 2000;
+  std::mutex mu;
+  std::map<std::thread::id, std::vector<int64_t>> per_thread;
+  const Status status = pool.ParallelFor(kN, [&](int64_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    per_thread[std::this_thread::get_id()].push_back(i);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  // At most num_threads distinct executors (workers + caller).
+  EXPECT_LE(per_thread.size(), 4u);
+  int64_t total = 0;
+  for (const auto& [id, indices] : per_thread) {
+    for (size_t j = 1; j < indices.size(); ++j) {
+      EXPECT_LT(indices[j - 1], indices[j]);
+    }
+    total += static_cast<int64_t>(indices.size());
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ThreadPoolTest, ReturnsStatusOfSmallestFailingIndex) {
+  // Several indices fail; the returned Status must be the smallest one's,
+  // for every thread count — this is what makes parallel RunExperiment
+  // failures deterministic.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    const Status status = pool.ParallelFor(100, [&](int64_t i) {
+      ++calls;
+      if (i == 7 || i == 23 || i == 99) {
+        return Status::Internal("fail-" + std::to_string(i));
+      }
+      return Status::Ok();
+    });
+    EXPECT_FALSE(status.ok()) << "threads=" << threads;
+    EXPECT_EQ(status.message(), "fail-7") << "threads=" << threads;
+    // Later indices still ran after the failure.
+    EXPECT_EQ(calls.load(), 100) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ResultsVisibleToCallerAfterReturn) {
+  // Workers write into index-addressed slots; the caller must observe all
+  // writes after ParallelFor returns (the happens-before edge TSan checks).
+  ThreadPool pool(8);
+  constexpr int64_t kN = 10000;
+  std::vector<int64_t> slots(kN, -1);
+  const Status status = pool.ParallelFor(kN, [&](int64_t i) {
+    slots[static_cast<size_t>(i)] = i * i;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<int64_t> sum{0};
+    const Status status = pool.ParallelFor(64, [&](int64_t i) {
+      sum.fetch_add(i + job);
+      return Status::Ok();
+    });
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(sum.load(), 64 * 63 / 2 + 64 * job) << "job " << job;
+  }
+}
+
+TEST(ThreadPoolTest, NestedPoolsAreIndependent) {
+  // ParallelFor on the same pool must not be re-entered, but a task may
+  // spin up its own pool for nested fan-out.
+  ThreadPool outer(4);
+  std::atomic<int64_t> total{0};
+  const Status status = outer.ParallelFor(8, [&](int64_t) {
+    ThreadPool inner(2);
+    return inner.ParallelFor(32, [&](int64_t) {
+      total.fetch_add(1);
+      return Status::Ok();
+    });
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ThreadPoolStress, ConstructionChurn) {
+  // Construct/use/destroy pools in a tight loop: the shutdown handshake
+  // and the job epoch logic get no settling time. Sized to give TSan a
+  // real shot at any race between a draining job and pool teardown.
+  std::atomic<int64_t> total{0};
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    ThreadPool pool(4);
+    const Status status = pool.ParallelFor(16, [&](int64_t) {
+      total.fetch_add(1);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(status.ok());
+  }
+  EXPECT_EQ(total.load(), 100 * 16);
+}
+
+TEST(ThreadPoolStress, TinyTasksContendOnCompletionCount) {
+  // Many near-empty tasks maximize contention on the claim counter and
+  // the completion bookkeeping.
+  ThreadPool pool(8);
+  constexpr int64_t kN = 100000;
+  std::atomic<int64_t> sum{0};
+  const Status status = pool.ParallelFor(kN, [&](int64_t i) {
+    sum.fetch_add(i);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -9,6 +9,12 @@ Rules
   raw-random        No rand()/srand()/std::random_device/std::mt19937 outside
                     src/util/rng.*; every simulation must be bit-reproducible
                     from a seed (see util/rng.h).
+  raw-thread        No std::thread/std::jthread/std::async outside
+                    src/util/thread_pool.*; ad-hoc threads bypass the
+                    deterministic fan-out/ordered-fold discipline that keeps
+                    parallel results bit-identical to serial ones.
+                    (std::thread::id and std::this_thread are fine — they
+                    observe threads, they don't spawn them.)
   test-coverage     Every .cc under src/ is referenced (via its header path,
                     e.g. "algo/hbc.h") by at least one test that is registered
                     with wsnq_test() in tests/CMakeLists.txt.
@@ -104,6 +110,30 @@ def check_raw_random(root: str) -> List[Finding]:
     return findings
 
 
+# std::thread/std::jthread construction and std::async, but neither
+# std::thread::id (the `(?!\s*::)` guard) nor std::this_thread (the text
+# after `std::` is "this_thread", which `thread\b` can't match).
+RAW_THREAD_RE = re.compile(
+    r"std\s*::\s*(jthread\b|async\b|thread\b(?!\s*::))")
+
+
+def check_raw_thread(root: str) -> List[Finding]:
+    findings = []
+    allowed = {os.path.join("src", "util", "thread_pool.h"),
+               os.path.join("src", "util", "thread_pool.cc")}
+    for rel in cxx_files(root):
+        if rel in allowed:
+            continue
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if RAW_THREAD_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "raw-thread",
+                    "use wsnq::ThreadPool (util/thread_pool.h); raw "
+                    "std::thread/std::async bypass the deterministic "
+                    "fan-out/ordered-fold discipline"))
+    return findings
+
+
 def check_test_coverage(root: str) -> List[Finding]:
     findings = []
     cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
@@ -190,6 +220,7 @@ def check_tracked_build(root: str) -> List[Finding]:
 CHECKS = [
     check_raw_assert,
     check_raw_random,
+    check_raw_thread,
     check_test_coverage,
     check_include_guard,
     check_tracked_build,

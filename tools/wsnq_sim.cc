@@ -9,6 +9,8 @@
 // Flags (defaults follow the paper's §5.1 setup):
 //   --algo=NAME[,NAME...]   algorithms (TAG POS HBC HBC-NTB IQ LCLL-H
 //                           LCLL-S SNAPSHOT SWITCH QDIGEST GK SAMPLE)
+//   --threads=N             worker threads for multi-run experiments
+//                           (0 = auto, 1 = serial; results bit-identical)
 //   --dataset=synthetic|pressure
 //   --nodes=N --radio=M --phi=F --rounds=R --runs=K --seed=S
 //   --values_per_node=M     multi-value nodes (§2; synthetic only)
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   }
 
   const int runs = static_cast<int>(flags.GetInt("runs", 5));
+  config.threads = static_cast<int>(flags.GetInt("threads", 0));
   const bool trail = flags.GetBool("trail", false);
   const bool csv = flags.GetBool("csv", false);
   const std::string algo_list = flags.GetString("algo", "IQ");
