@@ -15,9 +15,23 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "util/flags.h"
+#include "util/trace.h"
 
 namespace wsnq {
 namespace bench {
+
+/// Observability outputs shared by all benches, filled by
+/// ParseCommonFlags and consumed by RunSweep.
+struct CommonOptions {
+  std::string trace_path;    ///< --trace=PATH (empty: no trace)
+  std::string metrics_path;  ///< --metrics=PATH (empty: no metrics CSV)
+  std::string profile_path;  ///< --profile[=PATH] ("true": stderr only)
+};
+
+inline CommonOptions& Options() {
+  static CommonOptions options;
+  return options;
+}
 
 /// The paper's default synthetic configuration (Table 2 defaults).
 inline SimulationConfig DefaultSyntheticConfig() {
@@ -31,9 +45,14 @@ inline SimulationConfig DefaultSyntheticConfig() {
 }
 
 /// Parses the flags every bench shares into `config`:
-///   --threads=N   worker threads for multi-run experiments (0 = auto via
-///                 WSNQ_THREADS / hardware concurrency, 1 = serial); the
-///                 aggregate rows are bit-identical for every value.
+///   --threads=N      worker threads for multi-run experiments (0 = auto via
+///                    WSNQ_THREADS / hardware concurrency, 1 = serial); the
+///                    aggregate rows are bit-identical for every value.
+///   --trace=PATH     structured event trace (.jsonl = JSONL, else
+///                    Chrome/Perfetto JSON; needs -DWSNQ_TRACING=ON).
+///   --metrics=PATH   long-format metrics CSV (docs/observability.md).
+///   --profile[=PATH] wall-clock stage profile to stderr (plus JSON when a
+///                    PATH is given).
 /// Returns false (after printing to stderr) on malformed values or unknown
 /// flags, so typos fail the bench instead of silently running defaults.
 inline bool ParseCommonFlags(int argc, const char* const* argv,
@@ -41,17 +60,58 @@ inline bool ParseCommonFlags(int argc, const char* const* argv,
   FlagParser flags(argc, argv);
   config->threads =
       static_cast<int>(flags.GetInt("threads", config->threads));
+  Options().trace_path = flags.GetString("trace", "");
+  Options().metrics_path = flags.GetString("metrics", "");
+  Options().profile_path = flags.GetString("profile", "");
+  config->collect_metrics = !Options().metrics_path.empty();
   bool ok = true;
   for (const std::string& error : flags.errors()) {
     std::fprintf(stderr, "flag error: %s\n", error.c_str());
     ok = false;
   }
   for (const std::string& unused : flags.UnusedFlags()) {
-    std::fprintf(stderr, "unknown flag: --%s (supported: --threads=N)\n",
+    std::fprintf(stderr,
+                 "unknown flag: --%s (supported: --threads=N --trace=PATH "
+                 "--metrics=PATH --profile[=PATH])\n",
                  unused.c_str());
     ok = false;
   }
-  return ok;
+  if (!ok) return false;
+  if (!Options().profile_path.empty()) prof::Enable();
+  if (!Options().trace_path.empty()) {
+    if (!trace::CompiledIn()) {
+      std::fprintf(stderr,
+                   "warning: this build has WSNQ_TRACING off; --trace will "
+                   "write an empty trace (reconfigure with "
+                   "-DWSNQ_TRACING=ON)\n");
+    }
+    trace::InstallGlobalSink(Options().trace_path);
+  }
+  return true;
+}
+
+/// Writes the trace file and profile report configured by
+/// ParseCommonFlags; returns `code`, downgraded to 1 on a failed write.
+/// RunSweep calls this; hand-rolled benches (fig4_iq_trace) call it before
+/// returning.
+inline int FinishObservability(int code) {
+  const Status trace_status = trace::FlushGlobalSink();
+  if (!trace_status.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 trace_status.ToString().c_str());
+    if (code == 0) code = 1;
+  }
+  prof::ReportToStderr();
+  const std::string& profile = Options().profile_path;
+  if (!profile.empty() && profile != "true") {
+    const Status profile_status = prof::WriteJson(profile);
+    if (!profile_status.ok()) {
+      std::fprintf(stderr, "profile write failed: %s\n",
+                   profile_status.ToString().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }
 
 /// Runs one x-axis sweep over labeled protocol factories and prints rows.
@@ -67,6 +127,16 @@ inline int RunSweep(
         configure) {
   const int runs = RunsFromEnv(20);
   const auto start = std::chrono::steady_clock::now();
+  std::FILE* metrics_out = nullptr;
+  if (!Options().metrics_path.empty()) {
+    metrics_out = std::fopen(Options().metrics_path.c_str(), "w");
+    if (metrics_out == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics=%s\n",
+                   Options().metrics_path.c_str());
+      return FinishObservability(1);
+    }
+    PrintMetricsCsvHeader(metrics_out);
+  }
   PrintReportHeader();
   int64_t total_errors = 0;
   for (const std::string& x : x_values) {
@@ -76,13 +146,18 @@ inline int RunSweep(
     if (!aggregates.ok()) {
       std::fprintf(stderr, "sweep %s=%s failed: %s\n", x_name.c_str(),
                    x.c_str(), aggregates.status().ToString().c_str());
-      return 1;
+      if (metrics_out != nullptr) std::fclose(metrics_out);
+      return FinishObservability(1);
     }
     for (const AlgorithmAggregate& agg : aggregates.value()) {
       PrintReportRow(figure, dataset, x_name, x, agg);
       total_errors += agg.errors;
+      if (metrics_out != nullptr) {
+        PrintMetricsCsvRows(metrics_out, figure, dataset, x_name, x, agg);
+      }
     }
   }
+  if (metrics_out != nullptr) std::fclose(metrics_out);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -92,9 +167,9 @@ inline int RunSweep(
   if (total_errors != 0) {
     std::fprintf(stderr, "ORACLE MISMATCHES: %lld\n",
                  static_cast<long long>(total_errors));
-    return 1;
+    return FinishObservability(1);
   }
-  return 0;
+  return FinishObservability(0);
 }
 
 /// Convenience overload over registry algorithms with default options.

@@ -36,11 +36,17 @@ int main(int argc, char** argv) {
                 IqProtocol::Options{});
 
   Network* net = scenario.value().network.get();
+  // Hand-rolled single run: owns run 0's trace buffer directly.
+  trace::TraceBuffer trace_buffer(0);
+  trace::RunScope trace_scope(
+      trace::GlobalSink() != nullptr ? &trace_buffer : nullptr);
+  WSNQ_TRACE_SET_PROTO("IQ");
   std::printf("%-6s %-8s %-10s %-10s %-8s %-8s %-12s %s\n", "round", "v_k",
               "window_lo", "window_hi", "net_min", "net_max", "refinements",
               "correct");
   int errors = 0;
   for (int64_t round = 0; round <= config.rounds; ++round) {
+    WSNQ_TRACE_SET_ROUND(round);
     net->BeginRound();
     const auto values = scenario.value().ValuesByVertex(round);
     iq.RunRound(net, values, round);
@@ -50,14 +56,16 @@ int main(int argc, char** argv) {
     errors += !correct;
     const auto [lo_it, hi_it] =
         std::minmax_element(sensors.begin(), sensors.end());
-    std::printf("%-6lld %-8lld %-10lld %-10lld %-8lld %-8lld %-12d %s\n",
+    std::printf("%-6lld %-8lld %-10lld %-10lld %-8lld %-8lld %-12lld %s\n",
                 static_cast<long long>(round),
                 static_cast<long long>(iq.quantile()),
                 static_cast<long long>(iq.quantile() + iq.xi_l()),
                 static_cast<long long>(iq.quantile() + iq.xi_r()),
                 static_cast<long long>(*lo_it),
                 static_cast<long long>(*hi_it),
-                iq.refinements_last_round(), correct ? "yes" : "NO");
+                static_cast<long long>(iq.refinements_last_round()),
+                correct ? "yes" : "NO");
   }
-  return errors == 0 ? 0 : 1;
+  if (trace::GlobalSink() != nullptr) trace::GlobalSink()->Fold(trace_buffer);
+  return bench::FinishObservability(errors == 0 ? 0 : 1);
 }

@@ -46,10 +46,11 @@ int main() {
     if (record.round % 10 != 0) continue;
     std::printf(
         "round %3lld: median=%5lld  hotspot=%.4f mJ  packets=%4lld  "
-        "refinements=%d %s\n",
+        "refinements=%lld %s\n",
         static_cast<long long>(record.round),
         static_cast<long long>(record.quantile), record.max_round_energy_mj,
-        static_cast<long long>(record.packets), record.refinements,
+        static_cast<long long>(record.packets),
+        static_cast<long long>(record.refinements),
         record.correct ? "" : "WRONG");
   }
   std::printf(

@@ -4,6 +4,7 @@
 
 #include "algo/cost_model.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 namespace {
@@ -74,6 +75,10 @@ void HbcProtocol::RunRound(Network* net,
     params.refinement_bits = 2 * wire_.bound_bits;
     params.bucket_bits = wire_.bucket_count_bits;
     buckets_ = RoundedBExact(params);
+    WSNQ_TRACE_EVENT("init", "bucket_choice", -1, {"b", buckets_},
+                     {"header_bits", params.header_bits},
+                     {"refinement_bits", params.refinement_bits},
+                     {"bucket_bits", params.bucket_bits});
   }
   if (round == 0) {
     Initialize(net, values_by_vertex);
@@ -148,6 +153,8 @@ void HbcProtocol::RunBasicRound(Network* net,
     quantile_ = filter_;
     return;
   }
+  WSNQ_TRACE_SCOPE("refinement", "drill", -1, {"lb", lb}, {"ub", ub},
+                   {"b", buckets_});
   DrillOptions drill;
   drill.buckets = buckets_;
   drill.direct_capacity =
@@ -228,6 +235,8 @@ void HbcProtocol::RunNtbRound(Network* net,
     quantile_ = filter_lb_;  // best effort: the filter's lower bound
     return;
   }
+  WSNQ_TRACE_SCOPE("refinement", "ntb_drill", -1, {"lb", lb}, {"ub", ub},
+                   {"b", buckets_});
   DrillOptions drill;
   drill.buckets = buckets_;
   drill.direct_capacity = 0;  // incompatible with the interval filter

@@ -63,7 +63,7 @@ class HbcProtocol : public QuantileProtocol {
   /// NTB variant: counts relative to the interval filter [filter_lb,
   /// filter_ub) — l below it, e inside, g at/above filter_ub.
   RootCounts root_counts() const override { return counts_; }
-  int refinements_last_round() const override { return refinements_; }
+  int64_t refinements_last_round() const override { return refinements_; }
 
   /// Number of buckets in use (from the cost model unless overridden).
   int buckets() const { return buckets_; }
@@ -92,7 +92,7 @@ class HbcProtocol : public QuantileProtocol {
   int64_t quantile_ = 0;
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
-  int refinements_ = 0;
+  int64_t refinements_ = 0;
 
   // Basic variant filter.
   int64_t filter_ = 0;

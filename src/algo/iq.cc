@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -58,6 +59,7 @@ void IqProtocol::Initialize(Network* net,
   }
   xi_l_ = -xi;
   xi_r_ = xi;
+  WSNQ_TRACE_EVENT("init", "window", -1, {"xi_l", xi_l_}, {"xi_r", xi_r_});
 
   // Filter broadcast carries the tuple (v_k, xi) (§4.2.1).
   net->FloodFromRoot(2 * wire_.value_bits);
@@ -129,8 +131,16 @@ void IqProtocol::RunRound(Network* net,
   WSNQ_CHECK_EQ(prev_values_.size(), values_by_vertex.size());
 
   std::vector<int64_t> a;  // sorted window multiset A
-  const ValidationAgg validation =
-      ValidationWithWindow(net, values_by_vertex, &a);
+  const ValidationAgg validation = [&] {
+    WSNQ_TRACE_SCOPE("validation", "window_convergecast", -1,
+                     {"lo", filter_ + xi_l_}, {"hi", filter_ + xi_r_});
+    return ValidationWithWindow(net, values_by_vertex, &a);
+  }();
+  // Ξ hit accounting (§4.2.2): values that landed inside the window were
+  // shipped in A; the round needs a refinement convergecast only when the
+  // new quantile escaped Ξ.
+  WSNQ_TRACE_EVENT("validation", "window_hits", -1,
+                   {"in_window", static_cast<int64_t>(a.size())});
   WSNQ_DCHECK(std::is_sorted(a.begin(), a.end()));
   ApplyCounters(validation, net->num_sensors(), &counts_);
   if (!net->lossy()) {
@@ -170,6 +180,7 @@ void IqProtocol::RunRound(Network* net,
     } else {
       // One refinement: fetch the f1 largest values below the window.
       const int64_t f1 = counts_.l - k_ - a_below + 1;
+      WSNQ_TRACE_SCOPE("refinement", "below_window", -1, {"f", f1});
       const int64_t hi = v_old + xi_l_ - 1;  // below-window region
       int64_t lo = range_min_;
       if (options_.use_hints && validation.has_hint) {
@@ -229,6 +240,7 @@ void IqProtocol::RunRound(Network* net,
     } else {
       // One refinement: fetch the f2 smallest values above the window.
       const int64_t f2 = k_ - (counts_.l + counts_.e) - a_above;
+      WSNQ_TRACE_SCOPE("refinement", "above_window", -1, {"f", f2});
       const int64_t lo = v_old + xi_r_ + 1;  // above-window region
       int64_t hi = range_max_;
       if (options_.use_hints && validation.has_hint) {
@@ -263,6 +275,9 @@ void IqProtocol::RunRound(Network* net,
   // a silent round and update the window either way.
   if (q != v_old) net->FloodFromRoot(wire_.value_bits);
   PushDelta(q - v_old);
+  WSNQ_TRACE_EVENT("validation", "window_adjust", -1, {"delta", q - v_old},
+                   {"xi_l", xi_l_}, {"xi_r", xi_r_},
+                   {"refined", refinements_});
   quantile_ = q;
   filter_ = q;
 }

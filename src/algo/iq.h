@@ -59,7 +59,7 @@ class IqProtocol : public QuantileProtocol {
                 int64_t round) override;
   int64_t quantile() const override { return quantile_; }
   RootCounts root_counts() const override { return counts_; }
-  int refinements_last_round() const override { return refinements_; }
+  int64_t refinements_last_round() const override { return refinements_; }
 
   int64_t xi_l() const { return xi_l_; }
   int64_t xi_r() const { return xi_r_; }
@@ -94,7 +94,7 @@ class IqProtocol : public QuantileProtocol {
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
   std::deque<int64_t> deltas_;  // last (m-1) quantile deltas
-  int refinements_ = 0;
+  int64_t refinements_ = 0;
 };
 
 }  // namespace wsnq

@@ -6,6 +6,7 @@
 #include "algo/hist_codec.h"
 #include "algo/snapshot_bary.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -198,6 +199,8 @@ void LcllProtocol::Slip(Network* net, const std::vector<int64_t>& values,
 
   // Window announcement, then a histogram of the *new* window region only:
   // "the refinement interval of this approach is very selective" (§5.2.1).
+  WSNQ_TRACE_EVENT("refinement", "slip", -1, {"down", down ? 1 : 0},
+                   {"new_lo", new_lo}, {"new_hi", new_hi});
   net->FloodFromRoot(2 * wire_.bound_bits);
   ++refinements_;
   const BucketLayout layout(new_lo, new_hi, buckets_);
@@ -287,6 +290,8 @@ void LcllProtocol::ResolveBucket(Network* net,
   }
   // Over-wide bucket: values can shuffle inside it without any validation
   // delta, so the exact value must be re-resolved whenever it is needed.
+  WSNQ_TRACE_SCOPE("refinement", "resolve_bucket", -1, {"bucket", j},
+                   {"lo", blo}, {"hi", bhi});
   DrillOptions drill;
   drill.buckets = buckets_;
   drill.direct_capacity =

@@ -59,7 +59,7 @@ class LcllProtocol : public QuantileProtocol {
                 int64_t round) override;
   int64_t quantile() const override { return quantile_; }
   RootCounts root_counts() const override { return counts_; }
-  int refinements_last_round() const override { return refinements_; }
+  int64_t refinements_last_round() const override { return refinements_; }
 
   int buckets() const { return buckets_; }
   int64_t bucket_width() const { return width_; }
@@ -109,7 +109,7 @@ class LcllProtocol : public QuantileProtocol {
   int64_t quantile_ = 0;
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
-  int refinements_ = 0;
+  int64_t refinements_ = 0;
 };
 
 }  // namespace wsnq

@@ -49,7 +49,7 @@ class MultiIqProtocol {
     return states_[static_cast<size_t>(i)].filter;
   }
   /// Refinement convergecasts in the most recent round (across all ranks).
-  int refinements_last_round() const { return refinements_; }
+  int64_t refinements_last_round() const { return refinements_; }
 
  private:
   /// Per-rank continuous state (the fields of a single IQ instance).
@@ -77,7 +77,7 @@ class MultiIqProtocol {
   Options options_;
   std::vector<RankState> states_;
   std::vector<int64_t> prev_values_;
-  int refinements_ = 0;
+  int64_t refinements_ = 0;
 };
 
 }  // namespace wsnq

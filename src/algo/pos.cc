@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -97,6 +98,10 @@ void PosProtocol::Refine(Network* net, const std::vector<int64_t>& values,
     }
     if (hi == range_max_) above_hi = 0;
   }
+  // Hint traffic (§3.2 / §5.1.6): (min, max) of state-changing values rode
+  // the validation convergecast; record how far they narrowed the search.
+  WSNQ_TRACE_EVENT("refinement", "search_bounds", -1, {"lo", lo}, {"hi", hi},
+                   {"hinted", options_.use_hints && validation.has_hint});
 
   // The threshold all nodes currently hold; counts_ is relative to it.
   int64_t current = filter_;
@@ -126,6 +131,8 @@ void PosProtocol::Refine(Network* net, const std::vector<int64_t>& values,
     WSNQ_DCHECK_LE(hi, range_max_);
     // Broadcast the midpoint; every node adopts it as the tentative new
     // quantile and reports its region movement relative to `current`.
+    WSNQ_TRACE_EVENT("refinement", "probe", -1, {"mid", mid}, {"lo", lo},
+                     {"hi", hi});
     net->FloodFromRoot(wire_.value_bits);
     const ValidationAgg agg = TransitionConvergecast(
         net, values, wire_, 0, [&](int v) {
@@ -158,6 +165,8 @@ void PosProtocol::DirectRetrieve(Network* net,
                                  const std::vector<int64_t>& values,
                                  int64_t lo, int64_t hi, int64_t below_lo) {
   // Request broadcast with the interval bounds.
+  WSNQ_TRACE_EVENT("refinement", "direct_retrieve", -1, {"lo", lo},
+                   {"hi", hi});
   net->FloodFromRoot(2 * wire_.bound_bits);
   const std::vector<int64_t> collected =
       RangeValuesConvergecast(net, values, lo, hi, wire_);

@@ -44,7 +44,7 @@ class PosProtocol : public QuantileProtocol {
                 int64_t round) override;
   int64_t quantile() const override { return quantile_; }
   RootCounts root_counts() const override { return counts_; }
-  int refinements_last_round() const override { return refinements_; }
+  int64_t refinements_last_round() const override { return refinements_; }
 
  private:
   void Initialize(Network* net, const std::vector<int64_t>& values);
@@ -66,7 +66,7 @@ class PosProtocol : public QuantileProtocol {
   int64_t filter_ = 0;
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
-  int refinements_ = 0;
+  int64_t refinements_ = 0;
 };
 
 }  // namespace wsnq

@@ -50,8 +50,9 @@ class QuantileProtocol {
   virtual RootCounts root_counts() const = 0;
 
   /// Number of refinement convergecasts the protocol ran in the most recent
-  /// round (0 when validation alone settled the quantile).
-  virtual int refinements_last_round() const { return 0; }
+  /// round (0 when validation alone settled the quantile). int64_t to match
+  /// the other count metrics (core/metrics.h RoundRecord).
+  virtual int64_t refinements_last_round() const { return 0; }
 };
 
 }  // namespace wsnq

@@ -80,7 +80,7 @@ class SnapshotBaryProtocol : public QuantileProtocol {
                 int64_t round) override;
   int64_t quantile() const override { return result_.quantile; }
   RootCounts root_counts() const override { return result_.counts; }
-  int refinements_last_round() const override { return result_.rounds; }
+  int64_t refinements_last_round() const override { return result_.rounds; }
 
  private:
   int64_t k_;

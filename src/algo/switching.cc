@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -63,6 +64,10 @@ void SwitchingProtocol::MaybeSwitch(Network* net) {
   if (want_hbc == !iq_active()) return;  // no change
 
   // Mode announcement: mode tag plus the filter (and IQ window bounds).
+  WSNQ_TRACE_EVENT("validation", "mode_switch", -1,
+                   {"to_hbc", want_hbc ? 1 : 0},
+                   {"mean_abs_delta_x1000",
+                    static_cast<int64_t>(mean_abs * 1000.0)});
   net->FloodFromRoot(8 + 2 * wire_.value_bits);
   ++switches_;
   const int64_t filter = active_->quantile();

@@ -57,7 +57,7 @@ class SwitchingProtocol : public QuantileProtocol {
                 int64_t round) override;
   int64_t quantile() const override { return active_->quantile(); }
   RootCounts root_counts() const override { return active_->root_counts(); }
-  int refinements_last_round() const override {
+  int64_t refinements_last_round() const override {
     return active_->refinements_last_round();
   }
 

@@ -1,6 +1,7 @@
 #include "algo/tag.h"
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -11,6 +12,7 @@ void TagProtocol::RunRound(Network* net,
     // Query dissemination: broadcast k into the tree once.
     net->FloodFromRoot(wire_.counter_bits);
   }
+  WSNQ_TRACE_SCOPE("validation", "collect_k_smallest", -1, {"k", k_});
   const std::vector<int64_t> collected =
       CollectKSmallest(net, values_by_vertex, k_, wire_);
   if (!net->lossy()) {

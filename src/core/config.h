@@ -73,6 +73,12 @@ struct SimulationConfig {
   /// leave on outside micro-benchmarks).
   bool check_oracle = true;
 
+  /// Fill SimulationResult::metrics with per-depth energy/packet
+  /// breakdowns, payload-bit histograms, and refinement-round
+  /// distributions (core/metrics_registry.h; exported via --metrics).
+  /// Off by default — the default runs pay nothing for the registry.
+  bool collect_metrics = false;
+
   int64_t RankK() const {
     const int64_t k = static_cast<int64_t>(phi * num_sensors);
     return k < 1 ? 1 : (k > num_sensors ? num_sensors : k);

@@ -7,6 +7,7 @@
 #include "core/simulation.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -25,7 +26,8 @@ namespace {
 /// run-index order on a single thread: RunningStat accumulation is
 /// order-sensitive in floating point, and the bit-identical guarantee of
 /// the parallel path rests on this fold replaying the exact Add sequence
-/// of the serial path.
+/// of the serial path. The metrics registry merge obeys the same rule
+/// (its gauges are floating-point sums).
 void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg) {
   agg->max_round_energy_mj.Add(result.mean_max_round_energy_mj);
   agg->lifetime_rounds.Add(result.lifetime_rounds);
@@ -36,23 +38,35 @@ void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg) {
   agg->max_rank_error = std::max(agg->max_rank_error, result.max_rank_error);
   agg->errors += result.errors;
   ++agg->runs;
+  if (!result.metrics.empty()) agg->metrics.Merge(result.metrics);
 }
 
 /// Builds run `run`'s scenario and replays every factory's protocol over
 /// it, writing one result per factory into `results` (pre-sized). The
 /// factories of one run share the scenario's Network, so they execute
 /// serially inside the run's task; parallelism is across runs only.
+/// `buffer` (may be nullptr) collects the run's trace events; it is
+/// installed for the whole run so every protocol replay traces into the
+/// same per-run logical clock.
 Status ExecuteRun(const SimulationConfig& config,
                   const std::vector<ProtocolFactory>& factories, int run,
-                  std::vector<SimulationResult>* results) {
-  StatusOr<Scenario> scenario = BuildScenario(config, run);
+                  std::vector<SimulationResult>* results,
+                  trace::TraceBuffer* buffer) {
+  trace::RunScope trace_scope(buffer);
+  StatusOr<Scenario> scenario = [&] {
+    prof::ScopedTimer timer("experiment/build_scenario");
+    return BuildScenario(config, run);
+  }();
   if (!scenario.ok()) return scenario.status();
+  prof::ScopedTimer timer("experiment/run_protocols");
   for (size_t i = 0; i < factories.size(); ++i) {
     std::unique_ptr<QuantileProtocol> protocol = factories[i].make(
         scenario.value().k, scenario.value().source->range_min(),
         scenario.value().source->range_max(), config.wire);
     (*results)[i] = RunSimulation(scenario.value(), protocol.get(),
-                                  config.rounds, config.check_oracle);
+                                  config.rounds, config.check_oracle,
+                                  /*keep_trail=*/false,
+                                  config.collect_metrics);
   }
   return Status::Ok();
 }
@@ -68,17 +82,34 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     aggregates[i].label = factories[i].label;
   }
 
+  // One trace buffer per run when a --trace sink is installed; buffers are
+  // folded into the sink on this thread in run-index order (rebasing their
+  // logical ticks), so the serialized trace is bit-identical for every
+  // thread count — the same discipline as the aggregate fold below.
+  trace::TraceSink* sink = trace::GlobalSink();
+  std::vector<trace::TraceBuffer> buffers;
+  if (sink != nullptr) {
+    buffers.reserve(static_cast<size_t>(runs));
+    for (int run = 0; run < runs; ++run) buffers.emplace_back(run);
+  }
+  const auto buffer_for = [&](int run) {
+    return sink != nullptr ? &buffers[static_cast<size_t>(run)] : nullptr;
+  };
+
   const int threads = std::min<int>(ResolveThreads(config.threads), runs);
   if (threads <= 1) {
     // Legacy serial path (--threads=1): build, replay, and fold one run at
     // a time; aborts on the first scenario failure.
     std::vector<SimulationResult> results(factories.size());
     for (int run = 0; run < runs; ++run) {
-      Status status = ExecuteRun(config, factories, run, &results);
+      Status status =
+          ExecuteRun(config, factories, run, &results, buffer_for(run));
       if (!status.ok()) return status;
+      prof::ScopedTimer timer("experiment/fold");
       for (size_t i = 0; i < factories.size(); ++i) {
         FoldRun(results[i], &aggregates[i]);
       }
+      if (sink != nullptr) sink->Fold(buffers[static_cast<size_t>(run)]);
     }
     return aggregates;
   }
@@ -96,13 +127,16 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
   ThreadPool pool(threads);
   Status status = pool.ParallelFor(runs, [&](int64_t run) {
     return ExecuteRun(config, factories, static_cast<int>(run),
-                      &results[static_cast<size_t>(run)]);
+                      &results[static_cast<size_t>(run)],
+                      buffer_for(static_cast<int>(run)));
   });
   if (!status.ok()) return status;
+  prof::ScopedTimer timer("experiment/fold");
   for (int run = 0; run < runs; ++run) {
     for (size_t i = 0; i < factories.size(); ++i) {
       FoldRun(results[static_cast<size_t>(run)][i], &aggregates[i]);
     }
+    if (sink != nullptr) sink->Fold(buffers[static_cast<size_t>(run)]);
   }
   return aggregates;
 }

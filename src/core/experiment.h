@@ -14,6 +14,7 @@
 #include "algo/registry.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "core/metrics_registry.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -32,6 +33,8 @@ struct AlgorithmAggregate {
   int64_t max_rank_error = 0;
   int64_t errors = 0;
   int runs = 0;
+  /// Folded per-run registries (config.collect_metrics; empty otherwise).
+  MetricsRegistry metrics;
 };
 
 /// A labeled protocol constructor; lets ablation benches run protocols with

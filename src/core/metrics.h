@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/metrics_registry.h"
+
 namespace wsnq {
 
 /// What one simulated round produced.
@@ -18,7 +20,7 @@ struct RoundRecord {
   double max_round_energy_mj = 0.0;
   int64_t packets = 0;
   int64_t values = 0;
-  int refinements = 0;
+  int64_t refinements = 0;
   bool correct = true;
   /// How far the reported value's rank band [l+1, l+e] lies from the
   /// requested rank k (0 when exact; only non-zero under message loss).
@@ -44,6 +46,10 @@ struct SimulationResult {
   int64_t rounds = 0;
   /// Per-round trail; filled only when requested.
   std::vector<RoundRecord> trail;
+  /// Detailed breakdowns (per-depth energy/packets, payload histograms,
+  /// refinement-round distribution); filled only when
+  /// SimulationConfig::collect_metrics is set.
+  MetricsRegistry metrics;
 };
 
 }  // namespace wsnq

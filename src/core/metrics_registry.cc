@@ -1,0 +1,108 @@
+#include "core/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace {
+
+// Smallest b with value < 2^b, i.e. the bit width of `value`; bucket 0
+// holds everything <= 0 so malformed sizes stay visible instead of
+// silently widening bucket 1.
+int Pow2Bucket(int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v > 0) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void MetricsRegistry::Inc(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Add(const std::string& name, double value) {
+  gauges_[name] += value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, int64_t value) {
+  std::vector<int64_t>& buckets = histograms_[name];
+  if (buckets.empty()) buckets.assign(kHistogramBuckets, 0);
+  int bucket = Pow2Bucket(value);
+  if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+  ++buckets[static_cast<size_t>(bucket)];
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] += value;
+  for (const auto& [name, buckets] : other.histograms_) {
+    std::vector<int64_t>& mine = histograms_[name];
+    if (mine.empty()) mine.assign(kHistogramBuckets, 0);
+    WSNQ_CHECK_EQ(static_cast<int>(buckets.size()), kHistogramBuckets);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      mine[static_cast<size_t>(b)] += buckets[static_cast<size_t>(b)];
+    }
+  }
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::Rows() const {
+  // std::map iteration is already lexicographic; interleave the three kinds
+  // back into one sorted stream so the CSV is stable under future additions.
+  std::vector<Row> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size() * 8);
+  for (const auto& [name, value] : counters_) {
+    rows.push_back(Row{name, static_cast<double>(value)});
+  }
+  for (const auto& [name, value] : gauges_) {
+    rows.push_back(Row{name, value});
+  }
+  for (const auto& [name, buckets] : histograms_) {
+    int64_t count = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const int64_t n = buckets[static_cast<size_t>(b)];
+      count += n;
+      if (n == 0) continue;
+      rows.push_back(Row{name + "[pow2_" + std::to_string(b) + "]",
+                         static_cast<double>(n)});
+    }
+    rows.push_back(Row{name + "[count]", static_cast<double>(count)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.metric < b.metric; });
+  return rows;
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+int64_t MetricsRegistry::histogram_count(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return 0;
+  int64_t count = 0;
+  for (const int64_t n : it->second) count += n;
+  return count;
+}
+
+std::string KeyedMetric(const char* base, int64_t sub) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s[%lld]", base,
+                static_cast<long long>(sub));
+  return std::string(buf);
+}
+
+}  // namespace wsnq

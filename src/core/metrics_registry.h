@@ -1,0 +1,80 @@
+// Per-run metrics registry: named counters, summed gauges, and power-of-two
+// histograms, designed for the same ordered-fold determinism discipline as
+// the experiment aggregates (docs/hardening.md, docs/observability.md).
+//
+// A registry is filled by ONE run's simulation (no locking), carried inside
+// SimulationResult, and merged into the per-algorithm AlgorithmAggregate on
+// the calling thread in run-index order — counters are integers and gauges
+// are summed in that fixed order, so the folded registry is bit-identical
+// for every --threads value. Exported as a long-format CSV through
+// core/report.h (--metrics=out.csv).
+//
+// Metric taxonomy (names used by core/simulation.cc and net/network.cc):
+//   counters    rounds, uplink_packets, uplink_lost, broadcast_packets,
+//               floods, convergecasts, depth_packets[d],
+//               refinements_per_round[r]
+//   gauges      depth_energy_mj[d] (summed over runs)
+//   histograms  uplink_payload_bits, broadcast_payload_bits
+//               (bucket pow2_b counts values in [2^(b-1), 2^b))
+
+#ifndef WSNQ_CORE_METRICS_REGISTRY_H_
+#define WSNQ_CORE_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsnq {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the integer counter `name`.
+  void Inc(const std::string& name, int64_t delta = 1);
+
+  /// Adds `value` to the summed gauge `name`.
+  void Add(const std::string& name, double value);
+
+  /// Records `value` into the power-of-two histogram `name`: bucket b
+  /// counts values in [2^(b-1), 2^b); values <= 0 land in bucket 0.
+  void Observe(const std::string& name, int64_t value);
+
+  /// Folds `other` into this registry (entry-wise addition). Call in a
+  /// deterministic order (run index) — gauge sums are order-sensitive in
+  /// floating point.
+  void Merge(const MetricsRegistry& other);
+
+  /// One exported metric: `metric` is the flat name (histograms expand to
+  /// "name[pow2_b]" plus "name[count]"), `value` the folded total.
+  struct Row {
+    std::string metric;
+    double value = 0.0;
+  };
+
+  /// All metrics in deterministic (lexicographic) order.
+  std::vector<Row> Rows() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Direct lookups for tests; 0 when absent.
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  int64_t histogram_count(const std::string& name) const;
+
+ private:
+  static constexpr int kHistogramBuckets = 40;
+
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<int64_t>> histograms_;
+};
+
+/// "base[sub]" — the flat naming convention for keyed metrics
+/// (e.g. DepthMetric("depth_energy_mj", 3) == "depth_energy_mj[3]").
+std::string KeyedMetric(const char* base, int64_t sub);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_CORE_METRICS_REGISTRY_H_

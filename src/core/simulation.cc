@@ -3,17 +3,58 @@
 #include <algorithm>
 
 #include "algo/oracle.h"
+#include "core/metrics_registry.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
+namespace {
+
+/// Routes every Network transmission into a MetricsRegistry: message-kind
+/// counters, payload-bit histograms, and per-tree-depth packet counts
+/// (net/ cannot include core/, so the implementation lives here).
+class MetricsSendObserver : public SendObserver {
+ public:
+  MetricsSendObserver(const SpanningTree* tree, MetricsRegistry* registry)
+      : tree_(tree), registry_(registry) {}
+
+  void OnSend(SendKind kind, int sender, int64_t payload_bits,
+              int64_t wire_bits, int64_t packets, bool delivered) override {
+    (void)wire_bits;
+    if (kind == SendKind::kUplink) {
+      registry_->Inc("uplink_packets", packets);
+      if (!delivered) registry_->Inc("uplink_lost", packets);
+      registry_->Observe("uplink_payload_bits", payload_bits);
+    } else {
+      registry_->Inc("broadcast_packets", packets);
+      registry_->Observe("broadcast_payload_bits", payload_bits);
+    }
+    registry_->Inc(
+        KeyedMetric("depth_packets",
+                    tree_->depth[static_cast<size_t>(sender)]),
+        packets);
+  }
+
+ private:
+  const SpanningTree* tree_;
+  MetricsRegistry* registry_;
+};
+
+}  // namespace
 
 SimulationResult RunSimulation(const Scenario& scenario,
                                QuantileProtocol* protocol, int rounds,
-                               bool check_oracle, bool keep_trail) {
+                               bool check_oracle, bool keep_trail,
+                               bool collect_metrics) {
   Network* net = scenario.network.get();
   net->ResetAccounting();
 
   SimulationResult result;
+  MetricsSendObserver observer(&net->tree(), &result.metrics);
+  if (collect_metrics) net->set_send_observer(&observer);
+
+  WSNQ_TRACE_SET_PROTO(protocol->name());
+
   double energy_sum = 0.0;
   double rank_error_sum = 0.0;
   double packets_sum = 0.0;
@@ -22,9 +63,13 @@ SimulationResult RunSimulation(const Scenario& scenario,
 
   const int total_rounds = rounds + 1;  // round 0 is initialization
   for (int64_t round = 0; round < total_rounds; ++round) {
+    WSNQ_TRACE_SET_ROUND(round);
     net->BeginRound();
     const std::vector<int64_t> values = scenario.ValuesByVertex(round);
-    protocol->RunRound(net, values, round);
+    {
+      WSNQ_TRACE_SCOPE("round", round == 0 ? "init" : "update", -1);
+      protocol->RunRound(net, values, round);
+    }
 
     RoundRecord record;
     record.round = round;
@@ -47,7 +92,12 @@ SimulationResult RunSimulation(const Scenario& scenario,
     energy_sum += record.max_round_energy_mj;
     packets_sum += static_cast<double>(record.packets);
     values_sum += static_cast<double>(record.values);
-    refinements_sum += record.refinements;
+    refinements_sum += static_cast<double>(record.refinements);
+    if (collect_metrics) {
+      result.metrics.Inc(
+          KeyedMetric("refinements_per_round", record.refinements));
+    }
+    WSNQ_TRACE_COUNTER("round_packets", record.packets);
     if (keep_trail) result.trail.push_back(record);
   }
 
@@ -70,6 +120,23 @@ SimulationResult RunSimulation(const Scenario& scenario,
       hotspot_mean > 0.0
           ? net->energy_model().initial_energy_mj / hotspot_mean
           : 0.0;
+
+  if (collect_metrics) {
+    net->set_send_observer(nullptr);
+    result.metrics.Inc("rounds", total_rounds);
+    result.metrics.Inc("floods", net->total_floods());
+    result.metrics.Inc("convergecasts", net->total_convergecasts());
+    // Per-depth lifetime energy: valid because ResetAccounting above zeroed
+    // the totals for this protocol's replay.
+    const SpanningTree& tree = net->tree();
+    for (int v = 0; v < net->num_vertices(); ++v) {
+      if (net->is_root(v)) continue;
+      result.metrics.Add(
+          KeyedMetric("depth_energy_mj",
+                      tree.depth[static_cast<size_t>(v)]),
+          net->total_energy(v));
+    }
+  }
   return result;
 }
 

@@ -16,10 +16,14 @@ namespace wsnq {
 /// Runs `protocol` for `rounds` update rounds (plus the initialization
 /// round 0) over `scenario`. Resets the network accounting first, so
 /// several protocols can be replayed over one scenario. Set `keep_trail`
-/// to retain per-round records (Fig. 4-style traces).
+/// to retain per-round records (Fig. 4-style traces); set
+/// `collect_metrics` to fill SimulationResult::metrics with per-depth
+/// energy/packet breakdowns, payload-bit histograms, and the
+/// refinement-round distribution (core/metrics_registry.h).
 SimulationResult RunSimulation(const Scenario& scenario,
                                QuantileProtocol* protocol, int rounds,
-                               bool check_oracle, bool keep_trail = false);
+                               bool check_oracle, bool keep_trail = false,
+                               bool collect_metrics = false);
 
 }  // namespace wsnq
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
@@ -42,10 +43,15 @@ bool Network::SendToParent(int v, int64_t payload_bits) {
   Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
   round_packets_ += msg.packets;
   total_packets_ += msg.packets;
-  if (loss_probability_ > 0.0 &&
-      loss_rng_.Bernoulli(loss_probability_)) {
-    return false;  // receiver never hears it
+  const bool delivered =
+      !(loss_probability_ > 0.0 && loss_rng_.Bernoulli(loss_probability_));
+  WSNQ_TRACE_EVENT("net", "uplink", v, {"bits", payload_bits},
+                   {"packets", msg.packets}, {"lost", delivered ? 0 : 1});
+  if (observer_ != nullptr) {
+    observer_->OnSend(SendObserver::SendKind::kUplink, v, payload_bits,
+                      msg.total_bits, msg.packets, delivered);
   }
+  if (!delivered) return false;  // receiver never hears it
   Debit(parent, energy_.RecvCost(msg.total_bits));
   return true;
 }
@@ -58,11 +64,19 @@ void Network::BroadcastToChildren(int v, int64_t payload_bits) {
   for (int child : kids) Debit(child, energy_.RecvCost(msg.total_bits));
   round_packets_ += msg.packets;
   total_packets_ += msg.packets;
+  WSNQ_TRACE_EVENT("net", "broadcast", v, {"bits", payload_bits},
+                   {"packets", msg.packets},
+                   {"children", static_cast<int64_t>(kids.size())});
+  if (observer_ != nullptr) {
+    observer_->OnSend(SendObserver::SendKind::kBroadcast, v, payload_bits,
+                      msg.total_bits, msg.packets, /*delivered=*/true);
+  }
 }
 
 void Network::FloodFromRoot(int64_t payload_bits) {
   ++round_floods_;
   ++total_floods_;
+  WSNQ_TRACE_SCOPE("net", "flood", -1, {"bits", payload_bits});
   for (int v : tree_.pre_order) BroadcastToChildren(v, payload_bits);
 }
 

@@ -29,6 +29,27 @@
 
 namespace wsnq {
 
+/// Observer of every physical transmission a Network performs. Lives in
+/// net/ so the layering stays acyclic (net cannot include core); the
+/// metrics-collecting implementation is in core/simulation.cc. Callbacks
+/// run synchronously on the simulating thread — implementations need no
+/// locking but must be cheap.
+class SendObserver {
+ public:
+  enum class SendKind {
+    kUplink,     ///< SendToParent: one unicast up the tree
+    kBroadcast,  ///< BroadcastToChildren (flood waves included)
+  };
+
+  virtual ~SendObserver() = default;
+
+  /// One Send*/Broadcast* call: `sender` transmitted `payload_bits` of
+  /// payload (`wire_bits` on air after packetization, as `packets`
+  /// fragments). `delivered` is false only for lost uplink unicasts.
+  virtual void OnSend(SendKind kind, int sender, int64_t payload_bits,
+                      int64_t wire_bits, int64_t packets, bool delivered) = 0;
+};
+
 /// Topology + accounting context shared by all protocols in one run.
 class Network {
  public:
@@ -102,6 +123,11 @@ class Network {
     total_values_ += count;
   }
 
+  /// Registers `observer` (nullptr to detach) for every subsequent
+  /// transmission. Not owned; the caller must outlive the registration and
+  /// detach before destroying the observer.
+  void set_send_observer(SendObserver* observer) { observer_ = observer; }
+
   // --- Round bookkeeping ---------------------------------------------------
 
   /// Resets the per-round counters; call at the start of every round.
@@ -148,6 +174,8 @@ class Network {
   double loss_probability_ = 0.0;
   uint64_t loss_seed_ = 0;
   Rng loss_rng_{0};
+
+  SendObserver* observer_ = nullptr;  ///< not owned
 
   std::vector<double> round_energy_;
   std::vector<double> total_energy_;

@@ -4,14 +4,19 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace wsnq {
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  worker_labels_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    worker_labels_.push_back("thread_pool/worker_" + std::to_string(i));
+  }
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -31,6 +36,7 @@ Status ThreadPool::ParallelFor(int64_t n,
   if (num_threads_ == 1 || n == 1) {
     // Inline serial path: index order; the first failure wins but later
     // indices still run, matching the parallel path's semantics.
+    prof::ScopedTimer timer(worker_labels_[0].c_str());
     Status first = Status::Ok();
     bool failed = false;
     for (int64_t i = 0; i < n; ++i) {
@@ -55,7 +61,7 @@ Status ThreadPool::ParallelFor(int64_t n,
     ++epoch_;
   }
   work_cv_.notify_all();
-  RunChunk();
+  RunChunk(worker_labels_[0].c_str());
   Status result;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -68,7 +74,7 @@ Status ThreadPool::ParallelFor(int64_t n,
   return result;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -79,17 +85,27 @@ void ThreadPool::WorkerLoop() {
     if (job_fn_ == nullptr) continue;  // woke after the job drained
     ++active_;
     lock.unlock();
-    RunChunk();
+    RunChunk(worker_labels_[static_cast<size_t>(worker)].c_str());
     lock.lock();
     --active_;
     if (completed_ == job_n_ && active_ == 0) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::RunChunk() {
+void ThreadPool::RunChunk(const char* label) {
+  // Per-worker busy span (wall clock, stderr-only profile — never part of
+  // deterministic output). Sampled per chunk, not per index, so the
+  // overhead is one clock pair per ParallelFor participation.
+  const double chunk_start =
+      prof::Enabled() ? prof::WallSeconds() : -1.0;
   for (;;) {
     const int64_t index = next_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= job_n_) return;
+    if (index >= job_n_) {
+      if (chunk_start >= 0.0) {
+        prof::AddSample(label, prof::WallSeconds() - chunk_start);
+      }
+      return;
+    }
     Status status = (*job_fn_)(index);
     std::lock_guard<std::mutex> lock(mu_);
     if (!status.ok() &&

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,12 +60,16 @@ class ThreadPool {
   static int DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker);
   /// Claims and runs indices of the in-flight job until none remain.
-  /// Called with mu_ not held.
-  void RunChunk();
+  /// Called with mu_ not held. `label` names the executing worker in the
+  /// optional wall-clock profile (util/trace.h, prof::Enabled()).
+  void RunChunk(const char* label);
 
   const int num_threads_;
+  /// Stable per-worker profile labels ("thread_pool/worker_1", ...);
+  /// index 0 is the calling thread.
+  std::vector<std::string> worker_labels_;
 
   std::mutex run_mu_;  ///< serializes whole ParallelFor calls
 

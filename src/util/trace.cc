@@ -1,0 +1,310 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>  // the sanctioned wall-clock site (wsnq-lint: raw-clock)
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace trace {
+
+namespace {
+
+const char* KindName(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kBegin:
+      return "begin";
+    case Event::Kind::kEnd:
+      return "end";
+    case Event::Kind::kInstant:
+      return "instant";
+    case Event::Kind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+const char* ChromePh(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kBegin:
+      return "B";
+    case Event::Kind::kEnd:
+      return "E";
+    case Event::Kind::kInstant:
+      return "i";
+    case Event::Kind::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  WSNQ_CHECK_GE(n, 0);
+  out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                       ? static_cast<size_t>(n)
+                       : sizeof(buf) - 1);
+}
+
+thread_local TraceBuffer* t_current = nullptr;
+
+std::unique_ptr<TraceSink> g_sink;  // main-thread lifecycle only
+
+}  // namespace
+
+void TraceBuffer::Push(Event::Kind kind, const char* phase, const char* name,
+                       int node, std::initializer_list<Arg> args) {
+  Event event;
+  event.kind = kind;
+  event.phase = phase;
+  event.name = name;
+  event.proto = proto_;
+  event.run = run_;
+  event.round = round_;
+  event.node = node;
+  event.tick = tick_++;
+  for (const Arg& arg : args) {
+    if (event.num_args >= Event::kMaxArgs) break;
+    event.args[event.num_args++] = arg;
+  }
+  events_.push_back(event);
+}
+
+void TraceBuffer::Begin(const char* phase, const char* name, int node,
+                        std::initializer_list<Arg> args) {
+  Push(Event::Kind::kBegin, phase, name, node, args);
+}
+
+void TraceBuffer::End(const char* phase, const char* name, int node) {
+  Push(Event::Kind::kEnd, phase, name, node, {});
+}
+
+void TraceBuffer::Instant(const char* phase, const char* name, int node,
+                          std::initializer_list<Arg> args) {
+  Push(Event::Kind::kInstant, phase, name, node, args);
+}
+
+void TraceBuffer::Counter(const char* name, int64_t value) {
+  Push(Event::Kind::kCounter, "counter", name, -1, {{name, value}});
+}
+
+TraceBuffer* Current() { return t_current; }
+
+RunScope::RunScope(TraceBuffer* buffer) : prev_(t_current) {
+  t_current = buffer;
+}
+
+RunScope::~RunScope() { t_current = prev_; }
+
+ScopedSpan::ScopedSpan(const char* phase, const char* name, int node,
+                       std::initializer_list<Arg> args)
+    : buffer_(t_current), phase_(phase), name_(name), node_(node) {
+  if (buffer_ != nullptr) buffer_->Begin(phase_, name_, node_, args);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buffer_ != nullptr) buffer_->End(phase_, name_, node_);
+}
+
+void TraceSink::Fold(const TraceBuffer& buffer) {
+  events_.reserve(events_.size() + buffer.events().size());
+  for (Event event : buffer.events()) {
+    event.tick += next_tick_;
+    events_.push_back(event);
+  }
+  next_tick_ += buffer.ticks();
+}
+
+std::string TraceSink::SerializeJsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 96);
+  for (const Event& e : events_) {
+    AppendF(&out,
+            "{\"run\":%d,\"tick\":%lld,\"round\":%lld,\"proto\":\"%s\","
+            "\"phase\":\"%s\",\"name\":\"%s\",\"node\":%d,\"kind\":\"%s\"",
+            e.run, static_cast<long long>(e.tick),
+            static_cast<long long>(e.round), e.proto, e.phase, e.name,
+            e.node, KindName(e.kind));
+    if (e.num_args > 0) {
+      out += ",\"args\":{";
+      for (int i = 0; i < e.num_args; ++i) {
+        AppendF(&out, "%s\"%s\":%lld", i > 0 ? "," : "", e.args[i].key,
+                static_cast<long long>(e.args[i].value));
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string TraceSink::SerializeChromeJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    // pid = run so Perfetto groups one run per process track; tid maps the
+    // coordinator (node == -1) to 0 and vertex v to v + 1.
+    AppendF(&out,
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%lld,"
+            "\"pid\":%d,\"tid\":%d",
+            e.name, e.phase, ChromePh(e.kind),
+            static_cast<long long>(e.tick), e.run, e.node + 1);
+    if (e.kind == Event::Kind::kInstant) out += ",\"s\":\"t\"";
+    if (e.kind == Event::Kind::kCounter) {
+      AppendF(&out, ",\"args\":{\"%s\":%lld}", e.args[0].key,
+              static_cast<long long>(e.args[0].value));
+    } else {
+      AppendF(&out, ",\"args\":{\"proto\":\"%s\",\"round\":%lld", e.proto,
+              static_cast<long long>(e.round));
+      for (int a = 0; a < e.num_args; ++a) {
+        AppendF(&out, ",\"%s\":%lld", e.args[a].key,
+                static_cast<long long>(e.args[a].value));
+      }
+      out += "}";
+    }
+    out += i + 1 < events_.size() ? "},\n" : "}\n";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceSink::WriteFile() const {
+  const bool jsonl = path_.size() >= 6 &&
+                     path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
+  const std::string body = jsonl ? SerializeJsonl() : SerializeChromeJson();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path_);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path_);
+  }
+  return Status::Ok();
+}
+
+bool CompiledIn() {
+#if defined(WSNQ_TRACING) && WSNQ_TRACING
+  return true;
+#else
+  return false;
+#endif
+}
+
+TraceSink* GlobalSink() { return g_sink.get(); }
+
+void InstallGlobalSink(const std::string& path) {
+  g_sink = std::make_unique<TraceSink>(path);
+}
+
+Status FlushGlobalSink() {
+  if (g_sink == nullptr) return Status::Ok();
+  Status status = g_sink->WriteFile();
+  g_sink.reset();
+  return status;
+}
+
+void ClearGlobalSink() { g_sink.reset(); }
+
+}  // namespace trace
+
+namespace prof {
+
+namespace {
+
+struct StageStat {
+  int64_t count = 0;
+  double total_s = 0.0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex& ProfileMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, StageStat>& Stages() {
+  static std::map<std::string, StageStat> stages;
+  return stages;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Enable() { g_enabled.store(true, std::memory_order_relaxed); }
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AddSample(const char* stage, double seconds) {
+  std::lock_guard<std::mutex> lock(ProfileMu());
+  StageStat& stat = Stages()[stage];
+  ++stat.count;
+  stat.total_s += seconds;
+}
+
+ScopedTimer::ScopedTimer(const char* stage)
+    : stage_(stage), start_(Enabled() ? WallSeconds() : -1.0) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ >= 0.0) AddSample(stage_, WallSeconds() - start_);
+}
+
+void ReportToStderr() {
+  std::lock_guard<std::mutex> lock(ProfileMu());
+  for (const auto& [stage, stat] : Stages()) {
+    std::fprintf(stderr, "# profile stage=%s count=%lld total_s=%.6f\n",
+                 stage.c_str(), static_cast<long long>(stat.count),
+                 stat.total_s);
+  }
+}
+
+Status WriteJson(const std::string& path) {
+  std::string body = "{\"stages\":[\n";
+  {
+    std::lock_guard<std::mutex> lock(ProfileMu());
+    bool first = true;
+    for (const auto& [stage, stat] : Stages()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"stage\":\"%s\",\"count\":%lld,\"total_s\":%.6f}",
+                    first ? "" : ",\n", stage.c_str(),
+                    static_cast<long long>(stat.count), stat.total_s);
+      body += buf;
+      first = false;
+    }
+  }
+  body += "\n]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open profile file: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::Internal("short write to profile file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace prof
+}  // namespace wsnq

@@ -1,0 +1,106 @@
+// Pins the wsnq-trace determinism contract: the serialized trace (both
+// JSONL and Chrome JSON) and the folded metrics registry produced by a
+// multi-run experiment are BYTE-identical for every --threads value. This
+// is the trace-layer companion of parallel_determinism_test.cc — run
+// buffers are owned exclusively by their run task and folded into the sink
+// on the calling thread in run-index order, so the thread schedule can
+// never reorder events.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/metrics_registry.h"
+#include "util/trace.h"
+
+namespace wsnq {
+namespace {
+
+struct Capture {
+  std::string jsonl;
+  std::string chrome;
+  int64_t event_count = 0;
+  std::vector<std::vector<MetricsRegistry::Row>> metrics_rows;
+};
+
+SimulationConfig SmallConfig(int threads) {
+  SimulationConfig config;
+  config.num_sensors = 32;
+  config.radio_range = 90.0;  // small net: keep it connected
+  config.rounds = 10;
+  config.seed = 7;
+  config.threads = threads;
+  config.collect_metrics = true;
+  return config;
+}
+
+Capture RunOnce(int threads) {
+  Capture capture;
+  trace::InstallGlobalSink("unused.json");
+  auto aggregates =
+      RunExperiment(SmallConfig(threads),
+                    std::vector<AlgorithmKind>{AlgorithmKind::kIq,
+                                               AlgorithmKind::kHbc},
+                    /*runs=*/6);
+  EXPECT_TRUE(aggregates.ok()) << aggregates.status().ToString();
+  trace::TraceSink* sink = trace::GlobalSink();
+  EXPECT_NE(sink, nullptr);
+  if (sink != nullptr) {
+    capture.jsonl = sink->SerializeJsonl();
+    capture.chrome = sink->SerializeChromeJson();
+    capture.event_count = sink->event_count();
+  }
+  trace::ClearGlobalSink();
+  if (aggregates.ok()) {
+    for (const AlgorithmAggregate& agg : aggregates.value()) {
+      capture.metrics_rows.push_back(agg.metrics.Rows());
+    }
+  }
+  return capture;
+}
+
+TEST(TraceDeterminismTest, SerializedTraceIsByteIdenticalAcrossThreads) {
+  const Capture serial = RunOnce(1);
+  if (trace::CompiledIn()) {
+    EXPECT_GT(serial.event_count, 0);
+  } else {
+    EXPECT_EQ(serial.event_count, 0);
+  }
+  for (int threads : {2, 8}) {
+    const Capture parallel = RunOnce(threads);
+    EXPECT_EQ(serial.jsonl, parallel.jsonl) << "threads=" << threads;
+    EXPECT_EQ(serial.chrome, parallel.chrome) << "threads=" << threads;
+    EXPECT_EQ(serial.event_count, parallel.event_count)
+        << "threads=" << threads;
+  }
+}
+
+TEST(TraceDeterminismTest, FoldedMetricsAreIdenticalAcrossThreads) {
+  const Capture serial = RunOnce(1);
+  ASSERT_EQ(serial.metrics_rows.size(), 2u);  // IQ + HBC
+  for (const auto& rows : serial.metrics_rows) {
+    EXPECT_FALSE(rows.empty());
+  }
+  for (int threads : {2, 8}) {
+    const Capture parallel = RunOnce(threads);
+    ASSERT_EQ(parallel.metrics_rows.size(), serial.metrics_rows.size());
+    for (size_t a = 0; a < serial.metrics_rows.size(); ++a) {
+      const auto& lhs = serial.metrics_rows[a];
+      const auto& rhs = parallel.metrics_rows[a];
+      ASSERT_EQ(lhs.size(), rhs.size()) << "threads=" << threads;
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(lhs[i].metric, rhs[i].metric) << "threads=" << threads;
+        // Bit-exact, not approximate: gauges are folded in run order.
+        EXPECT_EQ(lhs[i].value, rhs[i].value)
+            << "threads=" << threads << " metric=" << lhs[i].metric;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Records a performance snapshot of the tree as BENCH_<date>.json.
+
+Two measurements, deliberately cheap enough to run on every perf-relevant
+PR (a couple of minutes on one core):
+
+  * the micro primitive benchmarks (build/bench/micro_primitives,
+    Google Benchmark JSON) — per-op costs of the sketch/codec hot paths;
+  * one end-to-end figure sweep (build/bench/fig6_vary_n) at reduced
+    WSNQ_RUNS/WSNQ_ROUNDS — the wall clock of the whole simulator stack,
+    parsed from the bench's "# timing ..." stderr footer.
+
+Snapshots are committed next to each other at the repo root, so a
+regression shows up as a diff between BENCH_<old>.json and BENCH_<new>.json
+rather than as folklore. Compare with:
+
+  python3 -c "import json;a,b=[json.load(open(p)) for p in
+      ('BENCH_A.json','BENCH_B.json')];print(a['fig6']['wall_s'],
+      b['fig6']['wall_s'])"
+
+Usage:
+  tools/bench_snapshot.py [--build-dir=build] [--date=YYYY-MM-DD]
+                          [--runs=4] [--rounds=60] [--out=PATH]
+
+--date exists so a snapshot regenerated while reproducing an old result
+can overwrite the original file instead of minting a new day.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import re
+import subprocess
+import sys
+
+TIMING_RE = re.compile(
+    r"# timing figure=(?P<figure>\S+) threads=(?P<threads>\d+) "
+    r"runs=(?P<runs>\d+) wall_s=(?P<wall_s>[0-9.]+)")
+
+
+def run_micro(build_dir):
+    """Returns the micro benchmark entries (name, real/cpu time, unit)."""
+    binary = os.path.join(build_dir, "bench", "micro_primitives")
+    out = subprocess.run([binary, "--benchmark_format=json"],
+                         check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    return {
+        "num_cpus": report["context"]["num_cpus"],
+        "mhz_per_cpu": report["context"]["mhz_per_cpu"],
+        "benchmarks": [
+            {
+                "name": b["name"],
+                "real_time": b["real_time"],
+                "cpu_time": b["cpu_time"],
+                "time_unit": b["time_unit"],
+            }
+            for b in report["benchmarks"]
+        ],
+    }
+
+
+def run_fig6(build_dir, runs, rounds):
+    """Runs the fig6 sweep and parses the stderr timing footer."""
+    binary = os.path.join(build_dir, "bench", "fig6_vary_n")
+    env = dict(os.environ, WSNQ_RUNS=str(runs), WSNQ_ROUNDS=str(rounds))
+    out = subprocess.run([binary, "--threads=1"], check=True,
+                         capture_output=True, text=True, env=env)
+    match = TIMING_RE.search(out.stderr)
+    if match is None:
+        raise RuntimeError(
+            f"no '# timing' footer in {binary} stderr:\n{out.stderr}")
+    return {
+        "threads": int(match.group("threads")),
+        "runs": int(match.group("runs")),
+        "rounds": rounds,
+        "wall_s": float(match.group("wall_s")),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Write a BENCH_<date>.json performance snapshot.")
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding bench/ binaries")
+    parser.add_argument("--date",
+                        help="snapshot date (default: today, UTC)")
+    parser.add_argument("--runs", type=int, default=4,
+                        help="WSNQ_RUNS for the fig6 sweep")
+    parser.add_argument("--rounds", type=int, default=60,
+                        help="WSNQ_ROUNDS for the fig6 sweep")
+    parser.add_argument("--out", help="output path (default BENCH_<date>.json)")
+    args = parser.parse_args()
+
+    date = args.date or datetime.datetime.now(
+        datetime.timezone.utc).strftime("%Y-%m-%d")
+    out_path = args.out or f"BENCH_{date}.json"
+
+    try:
+        micro = run_micro(args.build_dir)
+        fig6 = run_fig6(args.build_dir, args.runs, args.rounds)
+    except (OSError, subprocess.CalledProcessError, RuntimeError,
+            json.JSONDecodeError, KeyError) as error:
+        print(f"bench_snapshot: {error}", file=sys.stderr)
+        return 1
+
+    snapshot = {"date": date, "micro": micro, "fig6": fig6}
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} (fig6 wall_s={fig6['wall_s']:.3f}, "
+          f"{len(micro['benchmarks'])} micro benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,13 @@ Rules
                     parallel results bit-identical to serial ones.
                     (std::thread::id and std::this_thread are fine — they
                     observe threads, they don't spawn them.)
+  raw-clock         No std::chrono *_clock::now() outside src/util/trace.cc
+                    (prof::WallSeconds), src/util/thread_pool.cc (per-worker
+                    spans), and bench/ (wall-clock sweep footers). Wall clock
+                    in simulation or protocol code would leak
+                    non-determinism into results and traces; time through
+                    prof::WallSeconds (util/trace.h) so profiling stays
+                    gated and auditable.
   test-coverage     Every .cc under src/ is referenced (via its header path,
                     e.g. "algo/hbc.h") by at least one test that is registered
                     with wsnq_test() in tests/CMakeLists.txt.
@@ -134,6 +141,29 @@ def check_raw_thread(root: str) -> List[Finding]:
     return findings
 
 
+# steady_clock::now(), system_clock::now(), high_resolution_clock::now() —
+# with or without the std::chrono:: qualification.
+RAW_CLOCK_RE = re.compile(
+    r"(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+
+
+def check_raw_clock(root: str) -> List[Finding]:
+    findings = []
+    allowed = {os.path.join("src", "util", "trace.cc"),
+               os.path.join("src", "util", "thread_pool.cc")}
+    for rel in cxx_files(root):
+        if rel in allowed or rel.startswith("bench" + os.sep):
+            continue
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if RAW_CLOCK_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "raw-clock",
+                    "time through prof::WallSeconds / prof::ScopedTimer "
+                    "(util/trace.h); raw clock reads leak wall-clock "
+                    "non-determinism into simulation code"))
+    return findings
+
+
 def check_test_coverage(root: str) -> List[Finding]:
     findings = []
     cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
@@ -221,6 +251,7 @@ CHECKS = [
     check_raw_assert,
     check_raw_random,
     check_raw_thread,
+    check_raw_clock,
     check_test_coverage,
     check_include_guard,
     check_tracked_build,

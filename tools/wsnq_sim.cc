@@ -20,6 +20,11 @@
 //   --loss=P                uplink loss probability (0..1)
 //   --trail                 print per-round records (single run)
 //   --csv                   machine-readable output
+//   --trace=PATH            structured event trace (.jsonl = JSONL, else
+//                           Chrome/Perfetto JSON; needs -DWSNQ_TRACING=ON)
+//   --metrics=PATH          long-format metrics CSV (docs/observability.md)
+//   --profile[=PATH]        wall-clock stage profile to stderr (and JSON
+//                           when a PATH is given)
 
 #include <cstdio>
 #include <memory>
@@ -29,9 +34,11 @@
 #include "algo/registry.h"
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/report.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "util/flags.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -57,6 +64,46 @@ int ListAlgorithms() {
               "SWITCH\n");
   std::printf("approximate:   QDIGEST GK\n");
   std::printf("probabilistic: SAMPLE\n");
+  return 0;
+}
+
+/// Writes the trace file (if --trace installed a sink) and the profile
+/// report; returns `code`, downgraded to 1 when the trace write failed.
+int Finish(int code, const std::string& profile_path) {
+  const Status trace_status = trace::FlushGlobalSink();
+  if (!trace_status.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 trace_status.ToString().c_str());
+    if (code == 0) code = 1;
+  }
+  prof::ReportToStderr();
+  if (!profile_path.empty() && profile_path != "true") {
+    const Status profile_status = prof::WriteJson(profile_path);
+    if (!profile_status.ok()) {
+      std::fprintf(stderr, "profile write failed: %s\n",
+                   profile_status.ToString().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
+}
+
+/// Writes the long-format metrics CSV for the aggregates of one
+/// invocation.
+int WriteMetricsCsv(const std::string& path,
+                    const std::vector<AlgorithmAggregate>& aggregates,
+                    const std::string& dataset, const std::string& x_name,
+                    const std::string& x_value) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open --metrics=%s\n", path.c_str());
+    return 1;
+  }
+  PrintMetricsCsvHeader(out);
+  for (const AlgorithmAggregate& agg : aggregates) {
+    PrintMetricsCsvRows(out, "sim", dataset, x_name, x_value, agg);
+  }
+  std::fclose(out);
   return 0;
 }
 
@@ -111,6 +158,10 @@ int main(int argc, char** argv) {
   const bool trail = flags.GetBool("trail", false);
   const bool csv = flags.GetBool("csv", false);
   const std::string algo_list = flags.GetString("algo", "IQ");
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string profile_path = flags.GetString("profile", "");
+  config.collect_metrics = !metrics_path.empty();
 
   for (const std::string& err : flags.errors()) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -132,6 +183,17 @@ int main(int argc, char** argv) {
     kinds.push_back(kind.value());
   }
 
+  if (!profile_path.empty()) prof::Enable();
+  if (!trace_path.empty()) {
+    if (!trace::CompiledIn()) {
+      std::fprintf(stderr,
+                   "warning: this build has WSNQ_TRACING off; --trace will "
+                   "write an empty trace (reconfigure with "
+                   "-DWSNQ_TRACING=ON)\n");
+    }
+    trace::InstallGlobalSink(trace_path);
+  }
+
   if (trail) {
     // Single-run per-round trace of the first algorithm.
     auto scenario = BuildScenario(config, 0);
@@ -143,30 +205,57 @@ int main(int argc, char** argv) {
                                  scenario.value().source->range_min(),
                                  scenario.value().source->range_max(),
                                  config.wire);
-    const SimulationResult result =
-        RunSimulation(scenario.value(), protocol.get(), config.rounds,
-                      /*check_oracle=*/true, /*keep_trail=*/true);
+    // The trail path is a single hand-rolled run, so it owns run 0's trace
+    // buffer directly instead of going through RunExperiment.
+    trace::TraceBuffer trace_buffer(0);
+    SimulationResult result;
+    {
+      trace::RunScope trace_scope(
+          trace::GlobalSink() != nullptr ? &trace_buffer : nullptr);
+      result = RunSimulation(scenario.value(), protocol.get(), config.rounds,
+                             /*check_oracle=*/true, /*keep_trail=*/true,
+                             config.collect_metrics);
+    }
+    if (trace::GlobalSink() != nullptr) {
+      trace::GlobalSink()->Fold(trace_buffer);
+    }
+    if (!metrics_path.empty()) {
+      AlgorithmAggregate aggregate;
+      aggregate.label = AlgorithmName(kinds[0]);
+      aggregate.metrics = result.metrics;
+      if (WriteMetricsCsv(metrics_path, {aggregate}, dataset, "trail",
+                          "0") != 0) {
+        return Finish(1, profile_path);
+      }
+    }
     std::printf(csv ? "round,quantile,hotspot_mj,packets,values,refinements,"
                       "rank_error\n"
                     : "%-6s %-10s %-12s %-8s %-8s %-12s %s\n",
                 "round", "quantile", "hotspot_mJ", "packets", "values",
                 "refinements", "rank_err");
     for (const RoundRecord& r : result.trail) {
-      std::printf(csv ? "%lld,%lld,%.6f,%lld,%lld,%d,%lld\n"
-                      : "%-6lld %-10lld %-12.6f %-8lld %-8lld %-12d %lld\n",
+      std::printf(csv ? "%lld,%lld,%.6f,%lld,%lld,%lld,%lld\n"
+                      : "%-6lld %-10lld %-12.6f %-8lld %-8lld %-12lld %lld\n",
                   static_cast<long long>(r.round),
                   static_cast<long long>(r.quantile), r.max_round_energy_mj,
                   static_cast<long long>(r.packets),
-                  static_cast<long long>(r.values), r.refinements,
+                  static_cast<long long>(r.values),
+                  static_cast<long long>(r.refinements),
                   static_cast<long long>(r.rank_error));
     }
-    return 0;
+    return Finish(0, profile_path);
   }
 
   auto aggregates = RunExperiment(config, kinds, runs);
   if (!aggregates.ok()) {
     std::fprintf(stderr, "%s\n", aggregates.status().ToString().c_str());
-    return 1;
+    return Finish(1, profile_path);
+  }
+  if (!metrics_path.empty()) {
+    if (WriteMetricsCsv(metrics_path, aggregates.value(), dataset, "runs",
+                        std::to_string(runs)) != 0) {
+      return Finish(1, profile_path);
+    }
   }
   std::printf(csv ? "algo,max_energy_mj,lifetime_rounds,packets,values,"
                     "refinements,mean_rank_error,errors\n"
@@ -182,5 +271,5 @@ int main(int argc, char** argv) {
                 agg.values.mean(), agg.refinements.mean(),
                 agg.rank_error.mean(), static_cast<long long>(agg.errors));
   }
-  return 0;
+  return Finish(0, profile_path);
 }
