@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
               "max_energy_mJ", "packets");
   for (const char* loss : {"0", "0.1", "1", "5", "10", "20"}) {
     SimulationConfig config = base;
-    config.uplink_loss = std::atof(loss) / 100.0;
+    config.fault.loss = std::atof(loss) / 100.0;
     auto aggregates = RunExperiment(config, PaperAlgorithms(), runs);
     if (!aggregates.ok()) {
       std::fprintf(stderr, "failed: %s\n",
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(agg.max_rank_error),
                   agg.max_round_energy_mj.mean(), agg.packets.mean());
       // With reliable links every protocol must still be exact.
-      if (config.uplink_loss == 0.0 && agg.errors != 0) {
+      if (config.fault.loss == 0.0 && agg.errors != 0) {
         std::fprintf(stderr, "exactness violated at zero loss!\n");
         return 1;
       }

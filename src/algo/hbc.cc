@@ -80,7 +80,10 @@ void HbcProtocol::RunRound(Network* net,
                      {"refinement_bits", params.refinement_bits},
                      {"bucket_bits", params.bucket_bits});
   }
-  if (round == 0) {
+  // Round 0, or the routing tree changed under us (fault-driven repair):
+  // rebuild the root state rather than miscount over a stale topology.
+  if (round == 0 || tree_epoch_ != net->tree_epoch()) {
+    tree_epoch_ = net->tree_epoch();
     Initialize(net, values_by_vertex);
     prev_values_ = values_by_vertex;
     return;

@@ -93,6 +93,9 @@ class IqProtocol : public QuantileProtocol {
   int64_t xi_r_ = 0;  // >= 0
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
+  /// Network::tree_epoch() the state was initialized under; a mismatch
+  /// (fault-driven tree repair) forces re-initialization.
+  int64_t tree_epoch_ = 0;
   std::deque<int64_t> deltas_;  // last (m-1) quantile deltas
   int64_t refinements_ = 0;
 };

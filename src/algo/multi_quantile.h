@@ -77,6 +77,9 @@ class MultiIqProtocol {
   Options options_;
   std::vector<RankState> states_;
   std::vector<int64_t> prev_values_;
+  /// Network::tree_epoch() the state was initialized under; a mismatch
+  /// (fault-driven tree repair) forces re-initialization.
+  int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
 };
 

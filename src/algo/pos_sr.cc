@@ -35,7 +35,10 @@ void PosSrProtocol::RunRound(Network* net,
                              const std::vector<int64_t>& values_by_vertex,
                              int64_t round) {
   refinements_ = 0;
-  if (round == 0) {
+  // Round 0, or the routing tree changed under us (fault-driven repair):
+  // rebuild the root state rather than miscount over a stale topology.
+  if (round == 0 || tree_epoch_ != net->tree_epoch()) {
+    tree_epoch_ = net->tree_epoch();
     Initialize(net, values_by_vertex);
     prev_values_ = values_by_vertex;
     return;

@@ -55,6 +55,9 @@ class PosSrProtocol : public QuantileProtocol {
   int64_t filter_ = 0;
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
+  /// Network::tree_epoch() the state was initialized under; a mismatch
+  /// (fault-driven tree repair) forces re-initialization.
+  int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
 };
 

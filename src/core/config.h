@@ -8,6 +8,7 @@
 #include "algo/common.h"
 #include "data/pressure_trace.h"
 #include "data/synthetic_trace.h"
+#include "fault/fault_plan.h"
 #include "net/energy_model.h"
 #include "net/packetizer.h"
 #include "net/spanning_tree.h"
@@ -54,10 +55,13 @@ struct SimulationConfig {
   Packetizer packetizer;
   WireFormat wire;
 
-  /// Uplink (convergecast) message loss probability in [0, 1] — the §6
-  /// future-work experiment. 0 keeps the paper's reliable-link assumption;
-  /// anything above trades exactness for a measured rank error.
-  double uplink_loss = 0.0;
+  /// Fault injection — the §6 future-work experiment, grown into a full
+  /// subsystem (src/fault/, docs/robustness.md): per-link loss (i.i.d. or
+  /// Gilbert–Elliott bursty), scheduled node churn with tree repair, and
+  /// stop-and-wait ARQ. Defaults keep the paper's reliable-link
+  /// assumption; `fault.loss > 0` without ARQ trades exactness for a
+  /// measured rank error, with ARQ buys it back in retransmit energy.
+  FaultConfig fault;
 
   /// Master seed; runs derive their own streams from it.
   uint64_t seed = 1;

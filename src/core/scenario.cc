@@ -1,12 +1,14 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "data/pressure_trace.h"
 #include "data/range_scaler.h"
 #include "data/som.h"
 #include "data/synthetic_trace.h"
+#include "fault/fault_plan.h"
 #include "net/placement.h"
 #include "net/radio_graph.h"
 #include "util/check.h"
@@ -152,10 +154,15 @@ StatusOr<Scenario> BuildScenario(const SimulationConfig& config, int run) {
       scenario = BuildPressure(config, run);
       break;
   }
-  if (scenario.ok() && config.uplink_loss > 0.0) {
-    scenario.value().network->EnableUplinkLoss(
-        config.uplink_loss,
-        config.seed * 2654435761 + static_cast<uint64_t>(run) * 97 + 11);
+  if (scenario.ok() && config.fault.enabled()) {
+    // Counter-based fault injection: the plan derives every decision from
+    // (config.seed, run, round/tick, src, dst), so no per-run reseeding
+    // arithmetic is needed — and no shared stream can leak draw order
+    // across runs (docs/hardening.md, "Concurrency & determinism").
+    Network* network = scenario.value().network.get();
+    network->set_transport_policy(std::make_unique<FaultPlan>(
+        config.fault, config.seed, run, network->num_vertices(),
+        network->root()));
   }
   return scenario;
 }

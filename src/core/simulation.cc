@@ -18,21 +18,28 @@ class MetricsSendObserver : public SendObserver {
   MetricsSendObserver(const SpanningTree* tree, MetricsRegistry* registry)
       : tree_(tree), registry_(registry) {}
 
-  void OnSend(SendKind kind, int sender, int64_t payload_bits,
-              int64_t wire_bits, int64_t packets, bool delivered) override {
-    (void)wire_bits;
-    if (kind == SendKind::kUplink) {
-      registry_->Inc("uplink_packets", packets);
-      if (!delivered) registry_->Inc("uplink_lost", packets);
-      registry_->Observe("uplink_payload_bits", payload_bits);
+  void OnSend(const SendInfo& info) override {
+    const int depth = tree_->depth[static_cast<size_t>(info.sender)];
+    if (info.kind == SendKind::kUplink) {
+      // Every on-air data frame counts; on the reliable medium
+      // data_frames == 1 and these reduce to the classic counters.
+      registry_->Inc("uplink_packets", info.packets * info.data_frames);
+      registry_->Inc("uplink_messages", 1);
+      if (info.delivered) registry_->Inc("uplink_delivered", 1);
+      if (!info.delivered) registry_->Inc("uplink_lost", info.packets);
+      if (info.data_frames > 1) {
+        registry_->Inc("uplink_retx", info.data_frames - 1);
+        registry_->Inc(KeyedMetric("depth_retx", depth),
+                       info.data_frames - 1);
+      }
+      if (info.ack_frames > 0) registry_->Inc("arq_acks", info.ack_frames);
+      registry_->Observe("uplink_payload_bits", info.payload_bits);
     } else {
-      registry_->Inc("broadcast_packets", packets);
-      registry_->Observe("broadcast_payload_bits", payload_bits);
+      registry_->Inc("broadcast_packets", info.packets);
+      registry_->Observe("broadcast_payload_bits", info.payload_bits);
     }
-    registry_->Inc(
-        KeyedMetric("depth_packets",
-                    tree_->depth[static_cast<size_t>(sender)]),
-        packets);
+    registry_->Inc(KeyedMetric("depth_packets", depth),
+                   info.packets * info.data_frames);
   }
 
  private:
@@ -126,6 +133,11 @@ SimulationResult RunSimulation(const Scenario& scenario,
     result.metrics.Inc("rounds", total_rounds);
     result.metrics.Inc("floods", net->total_floods());
     result.metrics.Inc("convergecasts", net->total_convergecasts());
+    // Tree-repair activity: how many times churn forced a re-attachment
+    // epoch this run (0 on the reliable medium and under pure loss).
+    if (net->tree_epoch() > 0) {
+      result.metrics.Inc("repair_epochs", net->tree_epoch());
+    }
     // Per-depth lifetime energy: valid because ResetAccounting above zeroed
     // the totals for this protocol's replay.
     const SpanningTree& tree = net->tree();

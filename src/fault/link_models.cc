@@ -1,0 +1,96 @@
+#include "fault/link_models.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+LinkLossProcess::LinkLossProcess(LossModel model, double loss,
+                                 double burst_len, uint64_t seed, int64_t run,
+                                 int num_vertices)
+    : model_(model), loss_(loss), seed_(seed), run_(run) {
+  WSNQ_CHECK_GE(loss, 0.0);
+  WSNQ_CHECK_LE(loss, 1.0);
+  if (model_ == LossModel::kGilbertElliott && loss_ > 0.0 && loss_ < 1.0) {
+    WSNQ_CHECK_GE(burst_len, 1.0);
+    // Stationary distribution of the two-state chain: with
+    // p_GB = loss / ((1 - loss) * burst_len) and p_BG = 1 / burst_len,
+    // pi_B = p_GB / (p_GB + p_BG) = loss, so the long-run frame loss rate
+    // matches the configured `loss` while Bad sojourns average burst_len
+    // frames. p_GB > 1 would need burst_len < loss / (1 - loss); we check
+    // instead of clamping so the stationary-rate contract never silently
+    // degrades.
+    good_to_bad_ = loss_ / ((1.0 - loss_) * burst_len);
+    bad_to_good_ = 1.0 / burst_len;
+    WSNQ_CHECK_LE(good_to_bad_, 1.0);
+    // ~8 expected sojourns in either state: far past mixing for a 2-state
+    // chain, so longer gaps resample from stationarity in O(1).
+    mix_cap_ = 64 + static_cast<int64_t>(8.0 * burst_len);
+    up_.assign(static_cast<size_t>(num_vertices), ChainState{});
+    down_.assign(static_cast<size_t>(num_vertices), ChainState{});
+  }
+}
+
+void LinkLossProcess::Reset() {
+  for (ChainState& chain : up_) chain = ChainState{};
+  for (ChainState& chain : down_) chain = ChainState{};
+}
+
+bool LinkLossProcess::FrameLost(int src, int dst, int64_t tick,
+                                bool downlink) {
+  if (loss_ <= 0.0) return false;
+  if (loss_ >= 1.0) return true;
+  if (model_ == LossModel::kIid) {
+    FaultKey key;
+    key.seed = seed_;
+    key.run = run_;
+    key.round = tick;  // every frame occupies a distinct tick
+    key.src = src;
+    key.dst = dst;
+    key.salt =
+        downlink ? FaultStream::kDownlinkAck : FaultStream::kUplinkData;
+    return FaultBernoulli(key, loss_);
+  }
+  // Gilbert–Elliott: the chain belongs to the child endpoint's radio
+  // neighborhood, so it persists across tree repair.
+  const int owner = downlink ? dst : src;
+  return GilbertLost(downlink ? &down_ : &up_, owner, tick,
+                     downlink ? FaultStream::kDownlinkAck
+                              : FaultStream::kUplinkData);
+}
+
+bool LinkLossProcess::GilbertLost(std::vector<ChainState>* chains, int owner,
+                                  int64_t tick, FaultStream step_salt) {
+  ChainState& chain = (*chains)[static_cast<size_t>(owner)];
+  WSNQ_DCHECK_GE(tick, chain.last_tick);
+  // Direction disambiguator for the per-tick draws: the step/init salts are
+  // shared by both channels, so the channel salt rides in the nonce.
+  const uint64_t direction = static_cast<uint64_t>(step_salt);
+  if (chain.last_tick < 0 || tick - chain.last_tick > mix_cap_) {
+    FaultKey key;
+    key.seed = seed_;
+    key.run = run_;
+    key.round = tick;
+    key.src = owner;
+    key.salt = FaultStream::kGilbertInit;
+    key.nonce = direction;
+    chain.bad = FaultBernoulli(key, loss_);  // stationary: P(Bad) = loss
+  } else {
+    for (int64_t t = chain.last_tick + 1; t <= tick; ++t) {
+      FaultKey key;
+      key.seed = seed_;
+      key.run = run_;
+      key.round = t;
+      key.src = owner;
+      key.salt = FaultStream::kGilbertStep;
+      key.nonce = direction;
+      const double flip = chain.bad ? bad_to_good_ : good_to_bad_;
+      if (FaultBernoulli(key, flip)) chain.bad = !chain.bad;
+    }
+  }
+  chain.last_tick = tick;
+  return chain.bad;
+}
+
+}  // namespace wsnq

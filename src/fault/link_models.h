@@ -1,0 +1,88 @@
+// Per-link frame-loss models. Two processes, both driven purely by the
+// counter-based keys of fault/fault_key.h:
+//
+//   kIid            every frame is lost i.i.d. with probability `loss`;
+//   kGilbertElliott a two-state Markov chain per directed channel (the
+//                   classic bursty-loss model): the Good state delivers,
+//                   the Bad state drops, and the transition probabilities
+//                   are derived so the stationary loss rate equals `loss`
+//                   and the mean Bad-state sojourn equals `burst_len`
+//                   frames.
+//
+// Chains advance on the caller's logical tick clock (one tick per frame on
+// air, plus ARQ backoff gaps), so a retransmission backed off past a burst
+// genuinely escapes it. Each non-root vertex owns two chains — its uplink
+// (data) channel and its downlink (ack) channel — which survive tree
+// repair: the chain models the node's local radio environment, not the
+// identity of its current parent (docs/robustness.md).
+
+#ifndef WSNQ_FAULT_LINK_MODELS_H_
+#define WSNQ_FAULT_LINK_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_key.h"
+
+namespace wsnq {
+
+/// Which loss process shapes a lossy link.
+enum class LossModel {
+  kIid,             ///< independent Bernoulli loss per frame
+  kGilbertElliott,  ///< bursty two-state Markov loss per directed channel
+};
+
+/// The loss processes for every directed tree channel of one run.
+/// Deterministic: the loss verdict for a frame depends only on
+/// (seed, run, tick, src, dst, direction) — never on draw order across
+/// links, runs, or threads. Reset() rewinds to the initial state so
+/// protocol replays over one Network observe the identical fault
+/// sequence.
+class LinkLossProcess {
+ public:
+  /// `loss` in [0, 1]; `burst_len` >= 1 (Gilbert–Elliott only).
+  LinkLossProcess(LossModel model, double loss, double burst_len,
+                  uint64_t seed, int64_t run, int num_vertices);
+
+  /// Rewinds every chain to its pre-first-frame state (replay support).
+  void Reset();
+
+  /// Loss verdict for one frame at logical time `tick` on the directed
+  /// channel src -> dst. `downlink` selects the reverse (ack) channel; the
+  /// chain owner is the child endpoint (src for uplink, dst for downlink).
+  /// Ticks must be non-decreasing per chain — the ARQ clock guarantees it.
+  bool FrameLost(int src, int dst, int64_t tick, bool downlink);
+
+  double loss() const { return loss_; }
+  LossModel model() const { return model_; }
+  /// Stationary Bad->Good escape probability (test introspection).
+  double bad_to_good() const { return bad_to_good_; }
+  /// Stationary Good->Bad entry probability (test introspection).
+  double good_to_bad() const { return good_to_bad_; }
+
+ private:
+  struct ChainState {
+    int64_t last_tick = -1;  ///< tick of the most recent advance; -1 = fresh
+    bool bad = false;
+  };
+
+  bool GilbertLost(std::vector<ChainState>* chains, int owner, int64_t tick,
+                   FaultStream step_salt);
+
+  LossModel model_;
+  double loss_;
+  double good_to_bad_ = 0.0;
+  double bad_to_good_ = 0.0;
+  /// Gap (in ticks) beyond which a chain is resampled from stationarity
+  /// instead of stepped — the chain has mixed by then, and the cap keeps
+  /// FrameLost O(1) amortized across arbitrary idle periods.
+  int64_t mix_cap_ = 0;
+  uint64_t seed_;
+  int64_t run_;
+  std::vector<ChainState> up_;    ///< chain per child vertex: data channel
+  std::vector<ChainState> down_;  ///< chain per child vertex: ack channel
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_FAULT_LINK_MODELS_H_

@@ -1,0 +1,57 @@
+#include "fault/node_churn.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "fault/fault_key.h"
+#include "util/check.h"
+
+namespace wsnq {
+
+NodeChurn::NodeChurn(int crash_nodes, int64_t crash_round, int64_t crash_len,
+                     uint64_t seed, int64_t run, int num_vertices, int root) {
+  WSNQ_CHECK_GE(crash_nodes, 0);
+  WSNQ_CHECK_GE(num_vertices, 1);
+  crash_round_ = crash_round;
+  recover_round_ = crash_len <= 0 ? std::numeric_limits<int64_t>::max()
+                                  : crash_round + crash_len;
+  is_victim_.assign(static_cast<size_t>(num_vertices), 0);
+  if (crash_nodes == 0) return;
+
+  // Victims: the non-root vertices with the smallest (hash, id) key. A
+  // pure function of (seed, run, v) — no draw-order dependence, so the
+  // victim set is identical for every thread count and replay.
+  std::vector<std::pair<uint64_t, int>> ranked;
+  ranked.reserve(static_cast<size_t>(num_vertices) - 1);
+  for (int v = 0; v < num_vertices; ++v) {
+    if (v == root) continue;
+    FaultKey key;
+    key.seed = seed;
+    key.run = run;
+    key.src = v;
+    key.salt = FaultStream::kChurn;
+    ranked.emplace_back(FaultBits(key), v);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const size_t count =
+      std::min(ranked.size(), static_cast<size_t>(crash_nodes));
+  victims_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    victims_.push_back(ranked[i].second);
+    is_victim_[static_cast<size_t>(ranked[i].second)] = 1;
+  }
+  std::sort(victims_.begin(), victims_.end());
+}
+
+bool NodeChurn::IsDown(int v, int64_t round) const {
+  return is_victim_[static_cast<size_t>(v)] != 0 && round >= crash_round_ &&
+         round < recover_round_;
+}
+
+bool NodeChurn::TransitionAt(int64_t round) const {
+  if (victims_.empty()) return false;
+  return round == crash_round_ || round == recover_round_;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,47 @@
+// Scheduled node crash/recovery windows. A fixed-size victim set is chosen
+// deterministically from the master seed (counter-based, per run); every
+// victim is down for rounds in [crash_round, crash_round + crash_len), or
+// forever when crash_len <= 0. The root never crashes — it is the sink with
+// the unbounded energy budget, and every protocol's coordinator.
+
+#ifndef WSNQ_FAULT_NODE_CHURN_H_
+#define WSNQ_FAULT_NODE_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsnq {
+
+/// The crash schedule of one run. Stateless after construction: liveness is
+/// a pure function of the round index, so replays and parallel runs cannot
+/// disagree about who is down when.
+class NodeChurn {
+ public:
+  /// Crashes `crash_nodes` victims (clamped to the non-root population)
+  /// from `crash_round` for `crash_len` rounds (<= 0: permanently).
+  NodeChurn(int crash_nodes, int64_t crash_round, int64_t crash_len,
+            uint64_t seed, int64_t run, int num_vertices, int root);
+
+  bool IsDown(int v, int64_t round) const;
+
+  /// True when the liveness of some vertex differs between `round - 1` and
+  /// `round` — the rounds where tree repair has work to do.
+  bool TransitionAt(int64_t round) const;
+
+  /// Crash victims, ascending vertex id.
+  const std::vector<int>& victims() const { return victims_; }
+  int64_t crash_round() const { return crash_round_; }
+  /// First round the victims are back up; crash_round() + crash_len, or
+  /// INT64_MAX for a permanent crash.
+  int64_t recover_round() const { return recover_round_; }
+
+ private:
+  std::vector<int> victims_;
+  std::vector<char> is_victim_;
+  int64_t crash_round_ = 0;
+  int64_t recover_round_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_FAULT_NODE_CHURN_H_

@@ -1,0 +1,143 @@
+#include "fault/tree_repair.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "fault/fault_key.h"
+#include "net/geometry.h"
+#include "util/check.h"
+
+namespace wsnq {
+
+SpanningTree RepairTree(const RadioGraph& graph, int root,
+                        const std::vector<char>& alive,
+                        ParentSelection selection, uint64_t key) {
+  const int n = graph.size();
+  WSNQ_CHECK_GE(root, 0);
+  WSNQ_CHECK_LT(root, n);
+  WSNQ_CHECK_EQ(static_cast<int>(alive.size()), n);
+  WSNQ_CHECK(alive[static_cast<size_t>(root)] != 0);  // the sink never dies
+
+  SpanningTree tree;
+  tree.root = root;
+
+  // BFS hop distances from the root over the live subgraph; -1 when the
+  // vertex is dead or cut off from the root by dead vertices.
+  std::vector<int> depth(static_cast<size_t>(n), -1);
+  std::queue<int> frontier;
+  frontier.push(root);
+  depth[static_cast<size_t>(root)] = 0;
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (int u : graph.neighbors(v)) {
+      if (alive[static_cast<size_t>(u)] != 0 &&
+          depth[static_cast<size_t>(u)] < 0) {
+        depth[static_cast<size_t>(u)] = depth[static_cast<size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+
+  tree.parent.assign(static_cast<size_t>(n), -1);
+  // Level by level so kDegreeBalanced sees up-to-date child counts; within
+  // a level, ascending vertex id — the same deterministic visit order as
+  // BuildRoutingTree.
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (depth[static_cast<size_t>(v)] >= 0) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = depth[static_cast<size_t>(a)];
+    const int db = depth[static_cast<size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<int> child_count(static_cast<size_t>(n), 0);
+
+  for (int v : order) {
+    if (v == root) continue;
+    std::vector<int> candidates;
+    for (int u : graph.neighbors(v)) {
+      if (depth[static_cast<size_t>(u)] ==
+          depth[static_cast<size_t>(v)] - 1) {
+        candidates.push_back(u);
+      }
+    }
+    WSNQ_CHECK(!candidates.empty());  // v is reachable, so a parent exists
+    int best = candidates.front();
+    switch (selection) {
+      case ParentSelection::kNearest: {
+        double best_d = SquaredDistance(graph.point(v), graph.point(best));
+        for (int u : candidates) {
+          const double d = SquaredDistance(graph.point(v), graph.point(u));
+          if (d < best_d) {
+            best = u;
+            best_d = d;
+          }
+        }
+        break;
+      }
+      case ParentSelection::kDegreeBalanced: {
+        for (int u : candidates) {
+          if (child_count[static_cast<size_t>(u)] <
+              child_count[static_cast<size_t>(best)]) {
+            best = u;
+          }
+        }
+        break;
+      }
+      case ParentSelection::kRandom: {
+        // Counter-based stand-in for BuildRoutingTree's sequential draw.
+        FaultKey draw;
+        draw.seed = key;
+        draw.src = v;
+        draw.salt = FaultStream::kRepair;
+        best = candidates[static_cast<size_t>(
+            FaultBits(draw) % candidates.size())];
+        break;
+      }
+    }
+    tree.parent[static_cast<size_t>(v)] = best;
+    ++child_count[static_cast<size_t>(best)];
+    // Repair never creates a cycle: the parent sits one BFS level up.
+    WSNQ_DCHECK_EQ(depth[static_cast<size_t>(best)],
+                   depth[static_cast<size_t>(v)] - 1);
+  }
+
+  // Children lists and traversal orders span attached vertices only, so
+  // protocol convergecasts/broadcasts skip the dead by construction.
+  tree.depth.assign(static_cast<size_t>(n), 0);
+  tree.children.assign(static_cast<size_t>(n), {});
+  for (int v : order) {
+    tree.depth[static_cast<size_t>(v)] = depth[static_cast<size_t>(v)];
+    if (v == root) continue;
+    tree.children[static_cast<size_t>(tree.parent[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  for (auto& kids : tree.children) std::sort(kids.begin(), kids.end());
+
+  tree.pre_order.reserve(order.size());
+  tree.post_order.reserve(order.size());
+  std::vector<std::pair<int, size_t>> stack;  // (vertex, next child index)
+  stack.emplace_back(root, 0);
+  tree.pre_order.push_back(root);
+  while (!stack.empty()) {
+    auto& [v, idx] = stack.back();
+    const auto& kids = tree.children[static_cast<size_t>(v)];
+    if (idx < kids.size()) {
+      const int child = kids[idx++];
+      tree.pre_order.push_back(child);
+      stack.emplace_back(child, 0);
+    } else {
+      tree.post_order.push_back(v);
+      stack.pop_back();
+    }
+  }
+  WSNQ_CHECK_EQ(tree.post_order.size(), order.size());
+  return tree;
+}
+
+}  // namespace wsnq

@@ -27,49 +27,137 @@ StatusOr<Network> Network::Create(RadioGraph graph, int root,
                  packetizer);
 }
 
-void Network::EnableUplinkLoss(double probability, uint64_t seed) {
-  WSNQ_CHECK_GE(probability, 0.0);
-  WSNQ_CHECK_LE(probability, 1.0);
-  loss_probability_ = probability;
-  loss_seed_ = seed;
-  loss_rng_ = Rng(seed);
+void Network::set_transport_policy(std::unique_ptr<TransportPolicy> policy) {
+  policy_ = std::move(policy);
+  if (policy_ != nullptr) pristine_tree_ = tree_;
+}
+
+void Network::AdoptTree(SpanningTree tree) {
+  WSNQ_CHECK_EQ(tree.size(), tree_.size());
+  WSNQ_CHECK_EQ(tree.root, tree_.root);
+  for (int v = 0; v < tree.size(); ++v) {
+    const int parent = tree.parent[static_cast<size_t>(v)];
+    if (parent < 0) continue;  // the root, or a detached vertex
+    // Acyclic by construction: every attached parent sits one level up.
+    WSNQ_DCHECK_EQ(tree.depth[static_cast<size_t>(parent)],
+                   tree.depth[static_cast<size_t>(v)] - 1);
+  }
+  tree_ = std::move(tree);
+  ++tree_epoch_;
 }
 
 bool Network::SendToParent(int v, int64_t payload_bits) {
   if (is_root(v)) return true;
   const int parent = tree_.parent[static_cast<size_t>(v)];
   const PacketizedMessage msg = packetizer_.Packetize(payload_bits);
-  // The sender always pays; a lost packet costs energy too.
-  Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
-  round_packets_ += msg.packets;
-  total_packets_ += msg.packets;
-  const bool delivered =
-      !(loss_probability_ > 0.0 && loss_rng_.Bernoulli(loss_probability_));
-  WSNQ_TRACE_EVENT("net", "uplink", v, {"bits", payload_bits},
-                   {"packets", msg.packets}, {"lost", delivered ? 0 : 1});
-  if (observer_ != nullptr) {
-    observer_->OnSend(SendObserver::SendKind::kUplink, v, payload_bits,
-                      msg.total_bits, msg.packets, delivered);
+
+  if (policy_ == nullptr) {
+    // The paper's reliable medium: one frame, always delivered.
+    Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
+    round_packets_ += msg.packets;
+    total_packets_ += msg.packets;
+    WSNQ_TRACE_EVENT("net", "uplink", v, {"bits", payload_bits},
+                     {"packets", msg.packets}, {"lost", 0});
+    if (observer_ != nullptr) {
+      SendObserver::SendInfo info;
+      info.kind = SendObserver::SendKind::kUplink;
+      info.sender = v;
+      info.payload_bits = payload_bits;
+      info.wire_bits = msg.total_bits;
+      info.packets = msg.packets;
+      observer_->OnSend(info);
+    }
+    Debit(parent, energy_.RecvCost(msg.total_bits));
+    return true;
   }
-  if (!delivered) return false;  // receiver never hears it
-  Debit(parent, energy_.RecvCost(msg.total_bits));
-  return true;
+
+  // A crashed node runs no protocol code this round, and a detached one
+  // (unreachable after churn without repair to save it) has nobody to talk
+  // to: neither transmits, so neither pays.
+  if (policy_->IsDown(v) || parent < 0) return false;
+
+  const TransportPolicy::UplinkOutcome o = policy_->Uplink(v, parent);
+  WSNQ_DCHECK_GE(o.data_frames, 1);
+  WSNQ_DCHECK_LE(o.data_frames_received, o.data_frames);
+  // No ack exists for a data frame the parent never received.
+  WSNQ_DCHECK_LE(o.ack_frames, o.data_frames_received);
+  WSNQ_DCHECK_LE(o.ack_frames_received, o.ack_frames);
+  WSNQ_DCHECK_EQ(o.delivered ? 1 : 0, o.data_frames_received > 0 ? 1 : 0);
+
+  const PacketizedMessage ack =
+      packetizer_.Packetize(policy_->AckPayloadBits());
+  // The sender pays for every data frame it put on the air (lost or not)
+  // plus reception of every ack it heard; the parent pays for every data
+  // frame it heard plus every ack it sent. A crashed parent hears and
+  // sends nothing, so its counts are zero and it is debited nothing.
+  Debit(v, static_cast<double>(o.data_frames) *
+                   energy_.SendCost(msg.total_bits, graph_.rho()) +
+               static_cast<double>(o.ack_frames_received) *
+                   energy_.RecvCost(ack.total_bits));
+  Debit(parent, static_cast<double>(o.data_frames_received) *
+                        energy_.RecvCost(msg.total_bits) +
+                    static_cast<double>(o.ack_frames) *
+                        energy_.SendCost(ack.total_bits, graph_.rho()));
+  const int64_t air_packets =
+      static_cast<int64_t>(o.data_frames) * msg.packets +
+      static_cast<int64_t>(o.ack_frames) * ack.packets;
+  round_packets_ += air_packets;
+  total_packets_ += air_packets;
+
+  WSNQ_TRACE_EVENT("net", "uplink", v, {"bits", payload_bits},
+                   {"packets", msg.packets}, {"lost", o.delivered ? 0 : 1});
+  const int dropped = o.data_frames - o.data_frames_received;
+  if (dropped > 0) {
+    WSNQ_TRACE_EVENT("fault", "drop", v, {"frames", dropped});
+  }
+  if (o.data_frames > 1) {
+    WSNQ_TRACE_EVENT("fault", "retx", v, {"count", o.data_frames - 1},
+                     {"ticks", o.ticks});
+  }
+  if (o.ack_frames > 0) {
+    WSNQ_TRACE_EVENT("fault", "ack", parent, {"count", o.ack_frames},
+                     {"heard", o.ack_frames_received});
+  }
+  if (observer_ != nullptr) {
+    SendObserver::SendInfo info;
+    info.kind = SendObserver::SendKind::kUplink;
+    info.sender = v;
+    info.payload_bits = payload_bits;
+    info.wire_bits = msg.total_bits;
+    info.packets = msg.packets;
+    info.delivered = o.delivered;
+    info.data_frames = o.data_frames;
+    info.ack_frames = o.ack_frames;
+    info.ticks = o.ticks;
+    observer_->OnSend(info);
+  }
+  return o.delivered;
 }
 
 void Network::BroadcastToChildren(int v, int64_t payload_bits) {
   const auto& kids = tree_.children[static_cast<size_t>(v)];
   if (kids.empty()) return;
+  if (policy_ != nullptr && policy_->IsDown(v)) return;
   const PacketizedMessage msg = packetizer_.Packetize(payload_bits);
   Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
-  for (int child : kids) Debit(child, energy_.RecvCost(msg.total_bits));
+  for (int child : kids) {
+    // Crashed children don't hear (or pay for) the beacon.
+    if (policy_ != nullptr && policy_->IsDown(child)) continue;
+    Debit(child, energy_.RecvCost(msg.total_bits));
+  }
   round_packets_ += msg.packets;
   total_packets_ += msg.packets;
   WSNQ_TRACE_EVENT("net", "broadcast", v, {"bits", payload_bits},
                    {"packets", msg.packets},
                    {"children", static_cast<int64_t>(kids.size())});
   if (observer_ != nullptr) {
-    observer_->OnSend(SendObserver::SendKind::kBroadcast, v, payload_bits,
-                      msg.total_bits, msg.packets, /*delivered=*/true);
+    SendObserver::SendInfo info;
+    info.kind = SendObserver::SendKind::kBroadcast;
+    info.sender = v;
+    info.payload_bits = payload_bits;
+    info.wire_bits = msg.total_bits;
+    info.packets = msg.packets;
+    observer_->OnSend(info);
   }
 }
 
@@ -86,11 +174,24 @@ void Network::ResetAccounting() {
   total_values_ = 0;
   total_floods_ = 0;
   total_convergecasts_ = 0;
-  loss_rng_ = Rng(loss_seed_);  // deterministic loss replay per protocol
-  BeginRound();
+  ClearRoundCounters();
+  current_round_ = -1;
+  if (policy_ != nullptr) {
+    policy_->OnReset();  // deterministic fault replay per protocol
+    if (tree_epoch_ != 0) {
+      tree_ = pristine_tree_;
+      tree_epoch_ = 0;
+    }
+  }
 }
 
 void Network::BeginRound() {
+  ClearRoundCounters();
+  ++current_round_;
+  if (policy_ != nullptr) policy_->OnRoundStart(current_round_, this);
+}
+
+void Network::ClearRoundCounters() {
   std::fill(round_energy_.begin(), round_energy_.end(), 0.0);
   round_packets_ = 0;
   round_values_ = 0;

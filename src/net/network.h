@@ -13,21 +13,27 @@
 // Large payloads are fragmented by the Packetizer; every fragment pays the
 // message header again. Vertex 0 convention: the root is an ordinary vertex
 // id chosen at construction; use is_root()/root().
+//
+// Faults are pluggable: a TransportPolicy (implemented by fault/FaultPlan)
+// decides delivery, retransmission counts, and node liveness per uplink;
+// without one installed the network is the paper's reliable medium.
 
 #ifndef WSNQ_NET_NETWORK_H_
 #define WSNQ_NET_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/energy_model.h"
 #include "net/packetizer.h"
 #include "net/radio_graph.h"
 #include "net/spanning_tree.h"
-#include "util/rng.h"
 #include "util/status.h"
 
 namespace wsnq {
+
+class Network;
 
 /// Observer of every physical transmission a Network performs. Lives in
 /// net/ so the layering stays acyclic (net cannot include core); the
@@ -41,13 +47,64 @@ class SendObserver {
     kBroadcast,  ///< BroadcastToChildren (flood waves included)
   };
 
+  /// One Send*/Broadcast* call. `packets`/`wire_bits` describe a single
+  /// data frame after packetization; under ARQ the frame may go on the air
+  /// `data_frames` times (retransmissions = data_frames - 1), answered by
+  /// `ack_frames` control frames, over `ticks` of logical airtime. On the
+  /// reliable medium data_frames == 1 and ack_frames == 0.
+  struct SendInfo {
+    SendKind kind = SendKind::kUplink;
+    int sender = -1;
+    int64_t payload_bits = 0;
+    int64_t wire_bits = 0;  ///< on-air bits of one data frame
+    int64_t packets = 0;    ///< fragments of one data frame
+    bool delivered = true;
+    int data_frames = 1;
+    int ack_frames = 0;
+    int64_t ticks = 0;
+  };
+
   virtual ~SendObserver() = default;
 
-  /// One Send*/Broadcast* call: `sender` transmitted `payload_bits` of
-  /// payload (`wire_bits` on air after packetization, as `packets`
-  /// fragments). `delivered` is false only for lost uplink unicasts.
-  virtual void OnSend(SendKind kind, int sender, int64_t payload_bits,
-                      int64_t wire_bits, int64_t packets, bool delivered) = 0;
+  virtual void OnSend(const SendInfo& info) = 0;
+};
+
+/// Per-uplink fault/reliability decisions, consulted by Network for every
+/// SendToParent. Lives in net/ for the same layering reason as
+/// SendObserver: the implementation (fault/FaultPlan — loss models, churn,
+/// ARQ, tree repair) is in src/fault/, which links against net.
+class TransportPolicy {
+ public:
+  /// What one uplink exchange did, for energy and packet accounting. The
+  /// counts must satisfy: data_frames >= 1, received counts bounded by
+  /// sent counts, no ack without a received data frame, and delivered
+  /// exactly when data_frames_received > 0 (DCHECK-enforced by Network).
+  struct UplinkOutcome {
+    bool delivered = true;
+    int data_frames = 1;
+    int data_frames_received = 1;
+    int ack_frames = 0;
+    int ack_frames_received = 0;
+    int64_t ticks = 0;
+  };
+
+  virtual ~TransportPolicy() = default;
+
+  /// Called once per round before any traffic; may mutate `net` (tree
+  /// repair via Network::AdoptTree).
+  virtual void OnRoundStart(int64_t round, Network* net) = 0;
+  /// Rewinds all fault state so a protocol replay over the same Network
+  /// observes the identical fault sequence.
+  virtual void OnReset() = 0;
+  /// True when delivery is guaranteed; false keeps Network::lossy() true
+  /// so protocols retain their best-effort fallbacks.
+  virtual bool reliable() const = 0;
+  /// True when `v` is crashed this round: it neither sends nor receives.
+  virtual bool IsDown(int v) const = 0;
+  /// Payload bits of one ack control frame (0 = header-only).
+  virtual int64_t AckPayloadBits() const = 0;
+  /// Runs one uplink exchange src -> dst (src alive, dst = src's parent).
+  virtual UplinkOutcome Uplink(int src, int dst) = 0;
 };
 
 /// Topology + accounting context shared by all protocols in one run.
@@ -79,30 +136,36 @@ class Network {
   const Packetizer& packetizer() const { return packetizer_; }
   const EnergyModel& energy_model() const { return energy_; }
 
-  // --- Message loss (§6 future work) ---------------------------------------
+  /// Replaces the routing tree (fault/tree_repair.cc after node churn) and
+  /// bumps the tree epoch. Stateful protocols compare the epoch against
+  /// the one they initialized under and re-validate on mismatch instead of
+  /// silently miscounting over a stale topology. ResetAccounting restores
+  /// the pristine tree (and epoch 0) for the next protocol's replay.
+  void AdoptTree(SpanningTree tree);
+  int64_t tree_epoch() const { return tree_epoch_; }
 
-  /// Makes every uplink unicast (SendToParent) independently fail with
-  /// probability `probability`. Lost messages still cost the sender
-  /// transmit energy and count as packets, but the receiver neither pays
-  /// nor learns the content — callers must drop the payload when
-  /// SendToParent returns false. Floods stay reliable (they model acked,
-  /// low-rate dissemination). The loss process is reseeded by
-  /// ResetAccounting so protocol replays are deterministic.
-  void EnableUplinkLoss(double probability, uint64_t seed);
+  // --- Fault injection (src/fault/) ----------------------------------------
 
-  /// True when a loss process is active; protocols use this to swap hard
-  /// invariant checks for best-effort fallbacks.
-  bool lossy() const { return loss_probability_ > 0.0; }
+  /// Installs the transport policy consulted for every uplink (owned;
+  /// nullptr restores the reliable medium). Installing snapshots the
+  /// current tree so ResetAccounting can undo repairs.
+  void set_transport_policy(std::unique_ptr<TransportPolicy> policy);
+  TransportPolicy* transport_policy() { return policy_.get(); }
+
+  /// True when message delivery is not guaranteed; protocols use this to
+  /// swap hard invariant checks for best-effort fallbacks.
+  bool lossy() const { return policy_ != nullptr && !policy_->reliable(); }
 
   // --- Communication primitives (all accounting goes through these) -------
 
   /// Unicast `payload_bits` from `v` to its parent. No-op for the root.
   /// Returns true iff the message was delivered; on false the caller must
-  /// not merge the payload into the parent's state.
+  /// not merge the payload into the parent's state. A crashed or detached
+  /// sender transmits nothing (returns false at zero cost).
   bool SendToParent(int v, int64_t payload_bits);
 
-  /// One local broadcast from `v` received by all of its children.
-  /// No-op for leaves.
+  /// One local broadcast from `v` received by all of its live children.
+  /// No-op for leaves and crashed senders.
   void BroadcastToChildren(int v, int64_t payload_bits);
 
   /// Disseminates `payload_bits` from the root to every node.
@@ -130,11 +193,15 @@ class Network {
 
   // --- Round bookkeeping ---------------------------------------------------
 
-  /// Resets the per-round counters; call at the start of every round.
+  /// Resets the per-round counters, advances the round index, and gives
+  /// the transport policy its per-round hook; call at the start of every
+  /// round.
   void BeginRound();
 
-  /// Clears all accounting (per-round and lifetime); used to rerun several
-  /// protocols over the identical topology, as the paper's evaluation does.
+  /// Clears all accounting (per-round and lifetime) and rewinds fault
+  /// state — including any repaired tree — to the pristine topology; used
+  /// to rerun several protocols over the identical scenario, as the
+  /// paper's evaluation does. The next BeginRound is round 0 again.
   void ResetAccounting();
 
   /// Energy drawn by `v` in the current round [mJ].
@@ -166,14 +233,17 @@ class Network {
     total_energy_[static_cast<size_t>(v)] += mj;
   }
 
+  void ClearRoundCounters();
+
   RadioGraph graph_;
   SpanningTree tree_;
   EnergyModel energy_;
   Packetizer packetizer_;
 
-  double loss_probability_ = 0.0;
-  uint64_t loss_seed_ = 0;
-  Rng loss_rng_{0};
+  std::unique_ptr<TransportPolicy> policy_;
+  SpanningTree pristine_tree_;  ///< snapshot for ResetAccounting (policy only)
+  int64_t tree_epoch_ = 0;
+  int64_t current_round_ = -1;  ///< BeginRound pre-increments: first round is 0
 
   SendObserver* observer_ = nullptr;  ///< not owned
 

@@ -1,0 +1,127 @@
+// End-to-end exactness under faults: with stop-and-wait ARQ enabled, every
+// paper protocol must answer the quantile query *exactly* — zero oracle
+// errors, zero max rank error — at frame loss up to 0.3, under both the
+// i.i.d. and the bursty Gilbert–Elliott loss process. This is the central
+// claim of the reliability subsystem (docs/robustness.md): a bounded
+// retransmission budget turns lossy links back into the paper's
+// reliable-link model with overwhelming per-seed probability, and these
+// configurations pin seeds where it holds everywhere.
+//
+// Without ARQ the same configurations must degrade gracefully instead:
+// protocols keep running (zero crashes, in-range answers), but the rank
+// error is allowed — and at 0.3 expected — to be nonzero.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "fault/fault_plan.h"
+
+namespace wsnq {
+namespace {
+
+SimulationConfig ModerateConfig() {
+  SimulationConfig config;
+  config.num_sensors = 40;
+  config.radio_range = 60.0;
+  config.rounds = 20;
+  config.synthetic.noise_percent = 10;
+  return config;
+}
+
+struct FaultCase {
+  const char* name;
+  double loss;
+  LossModel model;
+};
+
+std::vector<FaultCase> LossGrid() {
+  return {
+      {"iid_05", 0.05, LossModel::kIid},
+      {"iid_15", 0.15, LossModel::kIid},
+      {"iid_30", 0.3, LossModel::kIid},
+      {"ge_05", 0.05, LossModel::kGilbertElliott},
+      {"ge_15", 0.15, LossModel::kGilbertElliott},
+      {"ge_30", 0.3, LossModel::kGilbertElliott},
+  };
+}
+
+TEST(ArqExactness, AllProtocolsExactUnderLossWithArq) {
+  for (const FaultCase& fault_case : LossGrid()) {
+    SimulationConfig config = ModerateConfig();
+    config.fault.loss = fault_case.loss;
+    config.fault.loss_model = fault_case.model;
+    config.fault.burst_len = 3.0;
+    config.fault.arq.enabled = true;
+    auto aggregates = RunExperiment(config, PaperAlgorithms(), /*runs=*/3);
+    ASSERT_TRUE(aggregates.ok())
+        << fault_case.name << ": " << aggregates.status().ToString();
+    for (const AlgorithmAggregate& agg : aggregates.value()) {
+      EXPECT_EQ(agg.errors, 0) << fault_case.name << " " << agg.label;
+      EXPECT_EQ(agg.max_rank_error, 0) << fault_case.name << " " << agg.label;
+    }
+  }
+}
+
+TEST(ArqExactness, ArqCostsEnergyButBuysExactness) {
+  // The trade the ARQ line of fig_loss_sweep plots: retransmissions and
+  // acks make rounds strictly more expensive than the fire-and-forget
+  // baseline at the same loss rate.
+  SimulationConfig config = ModerateConfig();
+  config.fault.loss = 0.3;
+  auto without = RunExperiment(config, {AlgorithmKind::kIq}, 3);
+  config.fault.arq.enabled = true;
+  auto with = RunExperiment(config, {AlgorithmKind::kIq}, 3);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value()[0].errors, 0);
+  EXPECT_GT(with.value()[0].max_round_energy_mj.mean(),
+            without.value()[0].max_round_energy_mj.mean());
+}
+
+TEST(ArqExactness, WithoutArqHeavyLossDegradesGracefully) {
+  SimulationConfig config = ModerateConfig();
+  config.fault.loss = 0.3;
+  config.seed = 2;
+  auto aggregates = RunExperiment(config, PaperAlgorithms(), /*runs=*/3);
+  ASSERT_TRUE(aggregates.ok()) << aggregates.status().ToString();
+  bool any_rank_error = false;
+  for (const AlgorithmAggregate& agg : aggregates.value()) {
+    // No crash: every run of every protocol completed and reported.
+    EXPECT_EQ(agg.runs, 3) << agg.label;
+    any_rank_error |= agg.rank_error.mean() > 0.0;
+  }
+  // 30% loss without retransmissions must hurt *somebody* — if it does
+  // not, the injector is not actually dropping frames.
+  EXPECT_TRUE(any_rank_error);
+}
+
+TEST(ArqExactness, ChurnWithRepairAndArqKeepsBoundedError) {
+  // Crash three nodes for a window; their measurements are invisible while
+  // down, so rank error within the window is legitimate — but the repaired
+  // tree plus ARQ must keep the error bounded by the crashed population,
+  // and the protocols must recover exactness after the window.
+  SimulationConfig config = ModerateConfig();
+  config.fault.loss = 0.1;
+  config.fault.arq.enabled = true;
+  config.fault.crash_nodes = 3;
+  config.fault.crash_round = 5;
+  config.fault.crash_len = 5;
+  auto aggregates = RunExperiment(config, PaperAlgorithms(), /*runs=*/3);
+  ASSERT_TRUE(aggregates.ok()) << aggregates.status().ToString();
+  for (const AlgorithmAggregate& agg : aggregates.value()) {
+    EXPECT_EQ(agg.runs, 3) << agg.label;
+    // A three-node crash can displace the true median by at most the
+    // crashed share of the population (plus their subtree backlog during
+    // the two repair epochs) — far below population scale.
+    EXPECT_LE(agg.max_rank_error, 20) << agg.label;
+  }
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -13,12 +13,22 @@
 #include "core/config.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
+#include "fault/fault_plan.h"
 #include "tests/test_scenario.h"
 
 namespace wsnq {
 namespace {
 
 using testing_support::MakeLineNetwork;
+
+// Binds a counter-based FaultPlan with the given loss probability to `net`
+// (the migration target of the legacy EnableUplinkLoss stub).
+void InstallLoss(Network* net, double loss, uint64_t seed) {
+  FaultConfig fault;
+  fault.loss = loss;
+  net->set_transport_policy(std::make_unique<FaultPlan>(
+      fault, seed, /*run=*/0, net->num_vertices(), net->root()));
+}
 
 TEST(RankErrorTest, Definition) {
   const std::vector<int64_t> values = {10, 20, 20, 30, 40};
@@ -36,7 +46,7 @@ TEST(RankErrorTest, Definition) {
 
 TEST(LossyNetworkTest, SenderPaysReceiverDoesNot) {
   Network net = MakeLineNetwork(3, 0);
-  net.EnableUplinkLoss(1.0, 7);  // every uplink lost
+  InstallLoss(&net, 1.0, 7);  // every uplink lost
   net.BeginRound();
   EXPECT_FALSE(net.SendToParent(2, 100));
   EXPECT_GT(net.round_energy(2), 0.0);   // sender burned energy
@@ -46,7 +56,7 @@ TEST(LossyNetworkTest, SenderPaysReceiverDoesNot) {
 
 TEST(LossyNetworkTest, ZeroProbabilityAlwaysDelivers) {
   Network net = MakeLineNetwork(3, 0);
-  net.EnableUplinkLoss(0.0, 7);
+  InstallLoss(&net, 0.0, 7);
   EXPECT_FALSE(net.lossy());
   net.BeginRound();
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(net.SendToParent(2, 8));
@@ -54,7 +64,7 @@ TEST(LossyNetworkTest, ZeroProbabilityAlwaysDelivers) {
 
 TEST(LossyNetworkTest, ResetReplaysTheSameLossSequence) {
   Network net = MakeLineNetwork(3, 0);
-  net.EnableUplinkLoss(0.5, 42);
+  InstallLoss(&net, 0.5, 42);
   std::vector<bool> first, second;
   net.ResetAccounting();
   for (int i = 0; i < 64; ++i) first.push_back(net.SendToParent(2, 8));
@@ -71,7 +81,7 @@ TEST_P(LossSweepTest, SurvivesHeavyLossAndStaysInRange) {
   config.num_sensors = 50;
   config.radio_range = 60.0;
   config.rounds = 30;
-  config.uplink_loss = 0.3;  // brutal
+  config.fault.loss = 0.3;  // brutal
   config.synthetic.period_rounds = 30;
   auto scenario = BuildScenario(config, 0);
   ASSERT_TRUE(scenario.ok());
@@ -92,7 +102,7 @@ TEST_P(LossSweepTest, ZeroLossConfigStaysExact) {
   config.num_sensors = 40;
   config.radio_range = 60.0;
   config.rounds = 20;
-  config.uplink_loss = 0.0;
+  config.fault.loss = 0.0;
   auto scenario = BuildScenario(config, 1);
   ASSERT_TRUE(scenario.ok());
   auto protocol = MakeProtocol(GetParam(), scenario.value().k,
@@ -113,7 +123,7 @@ TEST_P(LossSweepTest, RankErrorGrowsWithLoss) {
       config.num_sensors = 60;
       config.radio_range = 60.0;
       config.rounds = 25;
-      config.uplink_loss = loss;
+      config.fault.loss = loss;
       config.synthetic.noise_percent = 10;
       auto scenario = BuildScenario(config, run);
       if (!scenario.ok()) continue;

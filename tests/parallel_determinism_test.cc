@@ -79,7 +79,35 @@ std::vector<GridCase> ConfigGrid() {
     c.config.num_sensors = 24;
     c.config.radio_range = 70.0;
     c.config.rounds = 12;
-    c.config.uplink_loss = 0.08;
+    c.config.fault.loss = 0.08;
+    grid.push_back(c);
+  }
+  {
+    // Bursty loss + ARQ: the Gilbert–Elliott chains and the stop-and-wait
+    // retransmission clock must be counter-keyed, never stream-drawn, for
+    // this to hold across thread counts.
+    GridCase c{"synthetic+ge+arq", {}};
+    c.config.num_sensors = 24;
+    c.config.radio_range = 70.0;
+    c.config.rounds = 12;
+    c.config.fault.loss = 0.15;
+    c.config.fault.loss_model = LossModel::kGilbertElliott;
+    c.config.fault.burst_len = 3.0;
+    c.config.fault.arq.enabled = true;
+    grid.push_back(c);
+  }
+  {
+    // Node churn with tree repair: crash/recovery transitions and the
+    // repaired trees must also be schedule-independent.
+    GridCase c{"synthetic+churn", {}};
+    c.config.num_sensors = 24;
+    c.config.radio_range = 70.0;
+    c.config.rounds = 12;
+    c.config.fault.loss = 0.1;
+    c.config.fault.crash_nodes = 3;
+    c.config.fault.crash_round = 3;
+    c.config.fault.crash_len = 4;
+    c.config.fault.arq.enabled = true;
     grid.push_back(c);
   }
   {
@@ -108,7 +136,7 @@ std::vector<GridCase> ConfigGrid() {
     c.config.radio_range = 70.0;
     c.config.pressure_scale_bits = 12;
     c.config.rounds = 10;
-    c.config.uplink_loss = 0.1;
+    c.config.fault.loss = 0.1;
     c.config.seed = 3;
     grid.push_back(c);
   }
@@ -142,7 +170,7 @@ TEST(ParallelDeterminism, ParallelRepeatsAreSelfConsistent) {
   config.num_sensors = 24;
   config.radio_range = 70.0;
   config.rounds = 12;
-  config.uplink_loss = 0.05;
+  config.fault.loss = 0.05;
   config.threads = 8;
   auto first = RunExperiment(config, PaperAlgorithms(), 6);
   auto second = RunExperiment(config, PaperAlgorithms(), 6);

@@ -27,7 +27,7 @@ struct Capture {
   std::vector<std::vector<MetricsRegistry::Row>> metrics_rows;
 };
 
-SimulationConfig SmallConfig(int threads) {
+SimulationConfig SmallConfig(int threads, bool faulted = false) {
   SimulationConfig config;
   config.num_sensors = 32;
   config.radio_range = 90.0;  // small net: keep it connected
@@ -35,14 +35,26 @@ SimulationConfig SmallConfig(int threads) {
   config.seed = 7;
   config.threads = threads;
   config.collect_metrics = true;
+  if (faulted) {
+    // The full fault stack at once — bursty loss, ARQ, and a churn window
+    // with tree repair — so drop/retx/ack/crash/repair events and the
+    // fault metrics are all under the byte-identity contract too.
+    config.fault.loss = 0.15;
+    config.fault.loss_model = LossModel::kGilbertElliott;
+    config.fault.burst_len = 3.0;
+    config.fault.arq.enabled = true;
+    config.fault.crash_nodes = 2;
+    config.fault.crash_round = 3;
+    config.fault.crash_len = 4;
+  }
   return config;
 }
 
-Capture RunOnce(int threads) {
+Capture RunOnce(int threads, bool faulted = false) {
   Capture capture;
   trace::InstallGlobalSink("unused.json");
   auto aggregates =
-      RunExperiment(SmallConfig(threads),
+      RunExperiment(SmallConfig(threads, faulted),
                     std::vector<AlgorithmKind>{AlgorithmKind::kIq,
                                                AlgorithmKind::kHbc},
                     /*runs=*/6);
@@ -76,6 +88,32 @@ TEST(TraceDeterminismTest, SerializedTraceIsByteIdenticalAcrossThreads) {
     EXPECT_EQ(serial.chrome, parallel.chrome) << "threads=" << threads;
     EXPECT_EQ(serial.event_count, parallel.event_count)
         << "threads=" << threads;
+  }
+}
+
+TEST(TraceDeterminismTest, FaultedTraceIsByteIdenticalAcrossThreads) {
+  const Capture serial = RunOnce(1, /*faulted=*/true);
+  for (int threads : {2, 8}) {
+    const Capture parallel = RunOnce(threads, /*faulted=*/true);
+    EXPECT_EQ(serial.jsonl, parallel.jsonl) << "threads=" << threads;
+    EXPECT_EQ(serial.chrome, parallel.chrome) << "threads=" << threads;
+    ASSERT_EQ(parallel.metrics_rows.size(), serial.metrics_rows.size());
+    for (size_t a = 0; a < serial.metrics_rows.size(); ++a) {
+      const auto& lhs = serial.metrics_rows[a];
+      const auto& rhs = parallel.metrics_rows[a];
+      ASSERT_EQ(lhs.size(), rhs.size()) << "threads=" << threads;
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(lhs[i].metric, rhs[i].metric) << "threads=" << threads;
+        EXPECT_EQ(lhs[i].value, rhs[i].value)
+            << "threads=" << threads << " metric=" << lhs[i].metric;
+      }
+    }
+  }
+  if (trace::CompiledIn()) {
+    // The fault machinery must actually be visible in the trace.
+    EXPECT_NE(serial.jsonl.find("\"retx\""), std::string::npos);
+    EXPECT_NE(serial.jsonl.find("\"crash\""), std::string::npos);
+    EXPECT_NE(serial.jsonl.find("\"repair\""), std::string::npos);
   }
 }
 

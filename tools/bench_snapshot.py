@@ -8,7 +8,11 @@ PR (a couple of minutes on one core):
     Google Benchmark JSON) — per-op costs of the sketch/codec hot paths;
   * one end-to-end figure sweep (build/bench/fig6_vary_n) at reduced
     WSNQ_RUNS/WSNQ_ROUNDS — the wall clock of the whole simulator stack,
-    parsed from the bench's "# timing ..." stderr footer.
+    parsed from the bench's "# timing ..." stderr footer;
+  * one lossy sweep (build/bench/fig_loss_sweep) at the same reduced
+    scale — the same stack with the fault subsystem hot (Gilbert/iid link
+    chains, ARQ retransmission loops), so reliability-path regressions
+    are visible separately from the lossless baseline.
 
 Snapshots are committed next to each other at the repo root, so a
 regression shows up as a diff between BENCH_<old>.json and BENCH_<new>.json
@@ -60,9 +64,9 @@ def run_micro(build_dir):
     }
 
 
-def run_fig6(build_dir, runs, rounds):
-    """Runs the fig6 sweep and parses the stderr timing footer."""
-    binary = os.path.join(build_dir, "bench", "fig6_vary_n")
+def run_sweep(build_dir, bench_name, runs, rounds):
+    """Runs one figure sweep binary and parses the stderr timing footer."""
+    binary = os.path.join(build_dir, "bench", bench_name)
     env = dict(os.environ, WSNQ_RUNS=str(runs), WSNQ_ROUNDS=str(rounds))
     out = subprocess.run([binary, "--threads=1"], check=True,
                          capture_output=True, text=True, env=env)
@@ -98,17 +102,22 @@ def main():
 
     try:
         micro = run_micro(args.build_dir)
-        fig6 = run_fig6(args.build_dir, args.runs, args.rounds)
+        fig6 = run_sweep(args.build_dir, "fig6_vary_n", args.runs,
+                         args.rounds)
+        loss = run_sweep(args.build_dir, "fig_loss_sweep", args.runs,
+                         args.rounds)
     except (OSError, subprocess.CalledProcessError, RuntimeError,
             json.JSONDecodeError, KeyError) as error:
         print(f"bench_snapshot: {error}", file=sys.stderr)
         return 1
 
-    snapshot = {"date": date, "micro": micro, "fig6": fig6}
+    snapshot = {"date": date, "micro": micro, "fig6": fig6,
+                "loss_sweep": loss}
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {out_path} (fig6 wall_s={fig6['wall_s']:.3f}, "
+          f"loss_sweep wall_s={loss['wall_s']:.3f}, "
           f"{len(micro['benchmarks'])} micro benchmarks)")
     return 0
 

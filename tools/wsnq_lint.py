@@ -22,6 +22,13 @@ Rules
                     non-determinism into results and traces; time through
                     prof::WallSeconds (util/trace.h) so profiling stays
                     gated and auditable.
+  fault-rng         No wsnq::Rng (or util/rng.h include) inside src/fault/;
+                    fault decisions must be pure counter-based hashes of
+                    (seed, run, round/tick, src, dst) through the FaultKey
+                    helpers (src/fault/fault_key.h), never draws from a
+                    sequential stream — a stream's draw order would differ
+                    across thread schedules and break the bit-identical
+                    fault-injection contract.
   test-coverage     Every .cc under src/ is referenced (via its header path,
                     e.g. "algo/hbc.h") by at least one test that is registered
                     with wsnq_test() in tests/CMakeLists.txt.
@@ -164,6 +171,32 @@ def check_raw_clock(root: str) -> List[Finding]:
     return findings
 
 
+# wsnq::Rng construction/use or an include of util/rng.h. The `Rng` token
+# is matched as a whole word so FaultRng-style names can't slip through on
+# a substring technicality.
+FAULT_RNG_RE = re.compile(r"(?<![A-Za-z0-9_])Rng(?![A-Za-z0-9_])"
+                          r"|util/rng\.h")
+
+
+def check_fault_rng(root: str) -> List[Finding]:
+    findings = []
+    fault_dir = os.path.join("src", "fault") + os.sep
+    keying_helper = os.path.join("src", "fault", "fault_key.h")
+    for rel in cxx_files(root):
+        if not rel.startswith(fault_dir) or rel == keying_helper:
+            continue
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if FAULT_RNG_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "fault-rng",
+                    "fault decisions must go through the counter-based "
+                    "FaultBits/FaultUniform/FaultBernoulli helpers "
+                    "(fault/fault_key.h), not a sequential wsnq::Rng "
+                    "stream — draw order would break bit-identical "
+                    "parallel fault injection"))
+    return findings
+
+
 def check_test_coverage(root: str) -> List[Finding]:
     findings = []
     cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
@@ -252,6 +285,7 @@ CHECKS = [
     check_raw_random,
     check_raw_thread,
     check_raw_clock,
+    check_fault_rng,
     check_test_coverage,
     check_include_guard,
     check_tracked_build,

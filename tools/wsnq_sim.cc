@@ -17,7 +17,16 @@
 //   --period=P --noise=PSI  (synthetic)
 //   --skip=S --pessimistic  (pressure)
 //   --tree=nearest|balanced|random   routing-tree parent selection
-//   --loss=P                uplink loss probability (0..1)
+//   --loss=P                uplink frame loss probability (0..1)
+//   --loss-model=iid|ge     loss process: i.i.d. Bernoulli or bursty
+//                           Gilbert-Elliott (stationary loss rate stays P)
+//   --burst-len=B           mean burst length in frames (ge only, > 1)
+//   --crash-nodes=N         non-root nodes crashed for a window of rounds
+//   --crash-round=R         first round of the crash window (default 5)
+//   --crash-len=L           window length in rounds (0 = never recover)
+//   --no-repair             leave orphaned subtrees detached while crashed
+//   --arq                   stop-and-wait ARQ on every uplink unicast
+//   --max-retx=N            retransmission budget per message (default 16)
 //   --trail                 print per-round records (single run)
 //   --csv                   machine-readable output
 //   --trace=PATH            structured event trace (.jsonl = JSONL, else
@@ -125,7 +134,23 @@ int main(int argc, char** argv) {
   config.phi = flags.GetDouble("phi", 0.5);
   config.rounds = static_cast<int>(flags.GetInt("rounds", 250));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  config.uplink_loss = flags.GetDouble("loss", 0.0);
+  config.fault.loss = flags.GetDouble("loss", 0.0);
+  const std::string loss_model = flags.GetString("loss-model", "iid");
+  if (loss_model == "ge") {
+    config.fault.loss_model = LossModel::kGilbertElliott;
+  } else if (loss_model != "iid") {
+    std::fprintf(stderr, "unknown --loss-model=%s (iid|ge)\n",
+                 loss_model.c_str());
+    return 2;
+  }
+  config.fault.burst_len = flags.GetDouble("burst-len", 4.0);
+  config.fault.crash_nodes =
+      static_cast<int>(flags.GetInt("crash-nodes", 0));
+  config.fault.crash_round = flags.GetInt("crash-round", 5);
+  config.fault.crash_len = flags.GetInt("crash-len", 0);
+  config.fault.repair = !flags.GetBool("no-repair", false);
+  config.fault.arq.enabled = flags.GetBool("arq", false);
+  config.fault.arq.max_retx = static_cast<int>(flags.GetInt("max-retx", 16));
   config.synthetic.period_rounds = flags.GetDouble("period", 125.0);
   config.synthetic.noise_percent = flags.GetDouble("noise", 5.0);
   config.pressure.skip = static_cast<int>(flags.GetInt("skip", 0));
