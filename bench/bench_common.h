@@ -115,9 +115,13 @@ inline int FinishObservability(int code) {
 }
 
 /// Runs one x-axis sweep over labeled protocol factories and prints rows.
-/// `configure` mutates the base config for a given x-value. Prints a
-/// timing footer to stderr (see PrintTimingFooter) so speedups from
-/// --threads can be recorded without touching the deterministic stdout.
+/// `configure` mutates the base config for a given x-value. The points go
+/// through the batched core RunSweep (core/experiment.h), which shares one
+/// ScenarioCache across all of them — topology-invariant sweeps (fig7's
+/// period, fig8's noise) build their deployments once; stdout is identical
+/// to the historical per-point loop. Prints a timing footer to stderr (see
+/// PrintTimingFooter) so speedups from --threads can be recorded without
+/// touching the deterministic stdout.
 inline int RunSweep(
     const std::string& figure, const std::string& dataset,
     const std::string& x_name, const std::vector<std::string>& x_values,
@@ -137,23 +141,29 @@ inline int RunSweep(
     }
     PrintMetricsCsvHeader(metrics_out);
   }
+  std::vector<SweepPoint> points;
+  points.reserve(x_values.size());
+  for (const std::string& x : x_values) {
+    SweepPoint point{x, base};
+    configure(x, &point.config);
+    points.push_back(std::move(point));
+  }
   PrintReportHeader();
   int64_t total_errors = 0;
-  for (const std::string& x : x_values) {
-    SimulationConfig config = base;
-    configure(x, &config);
-    auto aggregates = RunExperiment(config, factories, runs);
-    if (!aggregates.ok()) {
-      std::fprintf(stderr, "sweep %s=%s failed: %s\n", x_name.c_str(),
-                   x.c_str(), aggregates.status().ToString().c_str());
-      if (metrics_out != nullptr) std::fclose(metrics_out);
-      return FinishObservability(1);
-    }
-    for (const AlgorithmAggregate& agg : aggregates.value()) {
-      PrintReportRow(figure, dataset, x_name, x, agg);
+  auto sweep = wsnq::RunSweep(points, factories, runs);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep %s failed: %s\n", x_name.c_str(),
+                 sweep.status().ToString().c_str());
+    if (metrics_out != nullptr) std::fclose(metrics_out);
+    return FinishObservability(1);
+  }
+  for (const SweepPointResult& point : sweep.value()) {
+    for (const AlgorithmAggregate& agg : point.aggregates) {
+      PrintReportRow(figure, dataset, x_name, point.x_value, agg);
       total_errors += agg.errors;
       if (metrics_out != nullptr) {
-        PrintMetricsCsvRows(metrics_out, figure, dataset, x_name, x, agg);
+        PrintMetricsCsvRows(metrics_out, figure, dataset, x_name,
+                            point.x_value, agg);
       }
     }
   }

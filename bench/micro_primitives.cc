@@ -13,6 +13,7 @@
 #include "algo/registry.h"
 #include "core/config.h"
 #include "core/scenario.h"
+#include "core/scenario_cache.h"
 #include "data/noise_image.h"
 #include "net/placement.h"
 #include "net/spanning_tree.h"
@@ -88,6 +89,89 @@ void BM_NoiseImageSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NoiseImageSample);
+
+// Scenario construction, uncached: every iteration rebuilds placement,
+// routing tree, and value sources from scratch — the per-run cost that
+// core/scenario_cache.h exists to amortize.
+void BM_BuildScenarioSynthetic(benchmark::State& state) {
+  SimulationConfig config;
+  config.num_sensors = static_cast<int>(state.range(0));
+  int run = 0;
+  for (auto _ : state) {
+    auto scenario = BuildScenario(config, run % 8);
+    benchmark::DoNotOptimize(scenario.ok());
+    ++run;
+  }
+}
+BENCHMARK(BM_BuildScenarioSynthetic)->Arg(64)->Arg(256);
+
+void BM_BuildScenarioPressure(benchmark::State& state) {
+  SimulationConfig config;
+  config.dataset = DatasetKind::kPressure;
+  config.pressure.num_stations = static_cast<int>(state.range(0));
+  config.radio_range = 70.0;
+  config.pressure_scale_bits = 12;
+  config.rounds = 60;
+  int run = 0;
+  for (auto _ : state) {
+    auto scenario = BuildScenario(config, run % 8);
+    benchmark::DoNotOptimize(scenario.ok());
+    ++run;
+  }
+}
+BENCHMARK(BM_BuildScenarioPressure)->Arg(40)->Arg(120);
+
+// Same constructions through a pre-populated sealed cache: measures the
+// assembly-only cost left after trace/placement/tree artifacts are shared.
+void BM_BuildScenarioPressureCached(benchmark::State& state) {
+  SimulationConfig config;
+  config.dataset = DatasetKind::kPressure;
+  config.pressure.num_stations = static_cast<int>(state.range(0));
+  config.radio_range = 70.0;
+  config.pressure_scale_bits = 12;
+  config.rounds = 60;
+  constexpr int kRuns = 8;
+  ScenarioCache cache;
+  if (Status status = cache.Prepare(config, kRuns); !status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  int run = 0;
+  for (auto _ : state) {
+    auto scenario = cache.Build(config, run % kRuns);
+    benchmark::DoNotOptimize(scenario.ok());
+    ++run;
+  }
+}
+BENCHMARK(BM_BuildScenarioPressureCached)->Arg(40)->Arg(120);
+
+// Per-round value access: the lazy ValuesByVertex copy versus a view into
+// rows materialized once per run (Scenario::MaterializeValues).
+void BM_ValuesByVertex(benchmark::State& state) {
+  SimulationConfig config;
+  config.num_sensors = 256;
+  auto scenario = BuildScenario(config, 0);
+  int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scenario.value().ValuesByVertex(round % 200).size());
+    ++round;
+  }
+}
+BENCHMARK(BM_ValuesByVertex);
+
+void BM_ValuesViewMaterialized(benchmark::State& state) {
+  SimulationConfig config;
+  config.num_sensors = 256;
+  auto scenario = BuildScenario(config, 0);
+  scenario.value().MaterializeValues(200);
+  int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario.value().ValuesView(round % 200).size());
+    ++round;
+  }
+}
+BENCHMARK(BM_ValuesViewMaterialized);
 
 void BM_FullProtocolRound(benchmark::State& state) {
   SimulationConfig config;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/scenario.h"
+#include "core/scenario_cache.h"
 #include "core/simulation.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -51,13 +52,24 @@ void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg) {
 Status ExecuteRun(const SimulationConfig& config,
                   const std::vector<ProtocolFactory>& factories, int run,
                   std::vector<SimulationResult>* results,
-                  trace::TraceBuffer* buffer) {
+                  trace::TraceBuffer* buffer, ScenarioCache* cache) {
   trace::RunScope trace_scope(buffer);
   StatusOr<Scenario> scenario = [&] {
+    // With a prepared cache this is assembly only (all artifact lookups
+    // hit); the construction cost then shows up under
+    // experiment/prepare_cache instead.
     prof::ScopedTimer timer("experiment/build_scenario");
-    return BuildScenario(config, run);
+    return BuildScenario(config, run, cache);
   }();
   if (!scenario.ok()) return scenario.status();
+  // Materialize the rounds × vertices value matrix once per run: every
+  // factory's replay reads the identical rows instead of re-deriving them
+  // per protocol (the values are integers, so this is bit-identical to the
+  // lazy path).
+  {
+    prof::ScopedTimer timer("experiment/materialize_values");
+    scenario.value().MaterializeValues(config.rounds + 1);
+  }
   prof::ScopedTimer timer("experiment/run_protocols");
   for (size_t i = 0; i < factories.size(); ++i) {
     std::unique_ptr<QuantileProtocol> protocol = factories[i].make(
@@ -71,11 +83,12 @@ Status ExecuteRun(const SimulationConfig& config,
   return Status::Ok();
 }
 
-}  // namespace
-
-StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+/// RunExperiment body, parameterized over an optional prepared cache so
+/// RunSweep can share one cache across sweep points.
+StatusOr<std::vector<AlgorithmAggregate>> RunExperimentImpl(
     const SimulationConfig& config,
-    const std::vector<ProtocolFactory>& factories, int runs) {
+    const std::vector<ProtocolFactory>& factories, int runs,
+    ScenarioCache* cache) {
   WSNQ_CHECK_GE(runs, 1);
   std::vector<AlgorithmAggregate> aggregates(factories.size());
   for (size_t i = 0; i < factories.size(); ++i) {
@@ -102,8 +115,8 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     // a time; aborts on the first scenario failure.
     std::vector<SimulationResult> results(factories.size());
     for (int run = 0; run < runs; ++run) {
-      Status status =
-          ExecuteRun(config, factories, run, &results, buffer_for(run));
+      Status status = ExecuteRun(config, factories, run, &results,
+                                 buffer_for(run), cache);
       if (!status.ok()) return status;
       prof::ScopedTimer timer("experiment/fold");
       for (size_t i = 0; i < factories.size(); ++i) {
@@ -116,11 +129,12 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
 
   // Parallel path: independent runs fan out over the deterministic pool
   // (each run re-derives its seeds from (config.seed, run), so no state is
-  // shared between tasks); results land in index-addressed slots and are
-  // folded on this thread in run order — the same floating-point Add
-  // sequence as the serial path, hence bit-identical aggregates for any
-  // thread count. On failure ParallelFor reports the smallest failing run
-  // index, matching the serial path's first-failure Status.
+  // shared between tasks — the cached artifacts they alias are sealed and
+  // const); results land in index-addressed slots and are folded on this
+  // thread in run order — the same floating-point Add sequence as the
+  // serial path, hence bit-identical aggregates for any thread count. On
+  // failure ParallelFor reports the smallest failing run index, matching
+  // the serial path's first-failure Status.
   std::vector<std::vector<SimulationResult>> results(
       static_cast<size_t>(runs),
       std::vector<SimulationResult>(factories.size()));
@@ -128,7 +142,7 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
   Status status = pool.ParallelFor(runs, [&](int64_t run) {
     return ExecuteRun(config, factories, static_cast<int>(run),
                       &results[static_cast<size_t>(run)],
-                      buffer_for(static_cast<int>(run)));
+                      buffer_for(static_cast<int>(run)), cache);
   });
   if (!status.ok()) return status;
   prof::ScopedTimer timer("experiment/fold");
@@ -139,6 +153,60 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
     if (sink != nullptr) sink->Fold(buffers[static_cast<size_t>(run)]);
   }
   return aggregates;
+}
+
+/// Serial, deterministic cache pre-population (run-index order); after this
+/// the cache is sealed and every lookup is read-only. A Prepare failure is
+/// exactly the Status the uncached serial path would report for its first
+/// failing run, so failure semantics are cache-invariant.
+Status PrepareCache(ScenarioCache* cache, const SimulationConfig& config,
+                    int runs) {
+  prof::ScopedTimer timer("experiment/prepare_cache");
+  return cache->Prepare(config, runs);
+}
+
+}  // namespace
+
+StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(
+    const SimulationConfig& config,
+    const std::vector<ProtocolFactory>& factories, int runs) {
+  if (!ScenarioCache::Enabled()) {
+    return RunExperimentImpl(config, factories, runs, nullptr);
+  }
+  ScenarioCache cache;
+  Status status = PrepareCache(&cache, config, runs);
+  if (!status.ok()) return status;
+  return RunExperimentImpl(config, factories, runs, &cache);
+}
+
+StatusOr<std::vector<SweepPointResult>> RunSweep(
+    const std::vector<SweepPoint>& points,
+    const std::vector<ProtocolFactory>& factories, int runs) {
+  const bool cache_enabled = ScenarioCache::Enabled();
+  ScenarioCache cache;  // one cache spanning every sweep point
+  std::vector<SweepPointResult> results;
+  results.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    StatusOr<std::vector<AlgorithmAggregate>> aggregates =
+        Status::InvalidArgument("unreachable");
+    if (cache_enabled) {
+      Status status = PrepareCache(&cache, point.config, runs);
+      aggregates = status.ok() ? RunExperimentImpl(point.config, factories,
+                                                   runs, &cache)
+                               : StatusOr<std::vector<AlgorithmAggregate>>(
+                                     status);
+    } else {
+      aggregates = RunExperimentImpl(point.config, factories, runs, nullptr);
+    }
+    if (!aggregates.ok()) {
+      return Status(aggregates.status().code(),
+                    "sweep point x=" + point.x_value + ": " +
+                        aggregates.status().message());
+    }
+    results.push_back(
+        SweepPointResult{point.x_value, std::move(aggregates).value()});
+  }
+  return results;
 }
 
 StatusOr<std::vector<AlgorithmAggregate>> RunExperiment(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "core/scenario_cache.h"
 #include "data/pressure_trace.h"
 #include "data/range_scaler.h"
 #include "data/som.h"
@@ -16,72 +18,145 @@
 
 namespace wsnq {
 
-std::vector<int64_t> Scenario::ValuesByVertex(int64_t round) const {
-  std::vector<int64_t> values(sensor_of_vertex.size(), 0);
+void Scenario::FillRow(int64_t round, std::vector<int64_t>* row) const {
+  row->assign(sensor_of_vertex.size(), 0);
   for (size_t v = 0; v < sensor_of_vertex.size(); ++v) {
     if (sensor_of_vertex[v] >= 0) {
-      values[v] = source->Value(sensor_of_vertex[v], round);
+      (*row)[v] = source->Value(sensor_of_vertex[v], round);
     }
   }
+}
+
+std::vector<int64_t> Scenario::ValuesByVertex(int64_t round) const {
+  if (round >= 0 && round < materialized_rounds()) {
+    return value_rows_[static_cast<size_t>(round)];
+  }
+  std::vector<int64_t> values;
+  FillRow(round, &values);
   return values;
+}
+
+void Scenario::MaterializeValues(int64_t rounds) {
+  value_rows_.resize(static_cast<size_t>(rounds));
+  for (int64_t round = 0; round < rounds; ++round) {
+    FillRow(round, &value_rows_[static_cast<size_t>(round)]);
+  }
+}
+
+const std::vector<int64_t>& Scenario::ValuesView(int64_t round) const {
+  if (round >= 0 && round < materialized_rounds()) {
+    return value_rows_[static_cast<size_t>(round)];
+  }
+  FillRow(round, &scratch_row_);
+  return scratch_row_;
 }
 
 namespace {
 
-StatusOr<Scenario> BuildSynthetic(const SimulationConfig& config, int run) {
-  Rng rng(config.seed * 7919 + static_cast<uint64_t>(run) * 104729 + 13);
-  // |N| sensors plus the root vertex.
-  StatusOr<std::vector<Point2D>> placement = ConnectedPlacement(
-      config.num_sensors + 1, config.area_width, config.area_height,
-      config.radio_range, &rng);
-  if (!placement.ok()) return placement.status();
+/// Cached artifact under `key`, or nullptr when there is no store / the
+/// store misses. The caller then builds the artifact itself and offers it
+/// back with Put — both paths execute the identical construction code, so
+/// cached and uncached scenarios are bit-identical by construction.
+template <typename T>
+std::shared_ptr<const T> Lookup(internal::ArtifactStore* store,
+                                const std::string& key) {
+  if (store == nullptr) return nullptr;
+  return std::static_pointer_cast<const T>(store->Get(key));
+}
 
-  const int root = static_cast<int>(rng.UniformInt(0, config.num_sensors));
-  // Multi-value nodes (§2): replicate each sensor position so every extra
-  // measurement lives on an "artificial child node" colocated with (and
-  // therefore radio-adjacent to) its physical host.
-  WSNQ_CHECK_GE(config.values_per_node, 1);
-  std::vector<Point2D> points;
-  points.reserve(placement.value().size() *
-                 static_cast<size_t>(config.values_per_node));
-  std::vector<int> expanded_root_index;
-  for (size_t v = 0; v < placement.value().size(); ++v) {
-    const int copies =
-        static_cast<int>(v) == root ? 1 : config.values_per_node;
-    for (int c = 0; c < copies; ++c) {
-      if (static_cast<int>(v) == root) {
-        expanded_root_index.push_back(static_cast<int>(points.size()));
+StatusOr<Scenario> BuildSynthetic(const SimulationConfig& config, int run,
+                                  internal::ArtifactStore* store) {
+  // Deployment (placement + expanded root + radio graph): one Rng stream
+  // draws the placement and then the root, so they form one cache unit.
+  const std::string deploy_key = internal::SyntheticDeploymentKey(config, run);
+  std::shared_ptr<const internal::SyntheticDeployment> deploy =
+      Lookup<internal::SyntheticDeployment>(store, deploy_key);
+  if (deploy == nullptr) {
+    Rng rng(config.seed * 7919 + static_cast<uint64_t>(run) * 104729 + 13);
+    // |N| sensors plus the root vertex.
+    StatusOr<std::vector<Point2D>> placement = ConnectedPlacement(
+        config.num_sensors + 1, config.area_width, config.area_height,
+        config.radio_range, &rng);
+    if (!placement.ok()) return placement.status();
+
+    const int root = static_cast<int>(rng.UniformInt(0, config.num_sensors));
+    // Multi-value nodes (§2): replicate each sensor position so every extra
+    // measurement lives on an "artificial child node" colocated with (and
+    // therefore radio-adjacent to) its physical host.
+    WSNQ_CHECK_GE(config.values_per_node, 1);
+    std::vector<Point2D> points;
+    points.reserve(placement.value().size() *
+                   static_cast<size_t>(config.values_per_node));
+    int expanded_root = -1;
+    for (size_t v = 0; v < placement.value().size(); ++v) {
+      const int copies =
+          static_cast<int>(v) == root ? 1 : config.values_per_node;
+      for (int c = 0; c < copies; ++c) {
+        if (static_cast<int>(v) == root) {
+          expanded_root = static_cast<int>(points.size());
+        }
+        points.push_back(placement.value()[v]);
       }
-      points.push_back(placement.value()[v]);
     }
-  }
-  const int expanded_root = expanded_root_index.front();
+    WSNQ_CHECK_GE(expanded_root, 0);
 
+    auto built = std::make_shared<internal::SyntheticDeployment>();
+    built->root = expanded_root;
+    // Sensor positions (normalized) feed the spatial correlation.
+    built->normalized.reserve(points.size() - 1);
+    for (size_t v = 0; v < points.size(); ++v) {
+      if (static_cast<int>(v) == expanded_root) continue;
+      built->normalized.push_back({points[v].x / config.area_width,
+                                   points[v].y / config.area_height});
+    }
+    built->graph =
+        std::make_shared<const RadioGraph>(std::move(points),
+                                           config.radio_range);
+    if (store != nullptr) store->Put(deploy_key, built);
+    deploy = std::move(built);
+  }
+
+  const uint64_t tree_salt = config.seed * 53 + static_cast<uint64_t>(run);
+  const std::string tree_key = internal::RoutingTreeKey(
+      deploy_key, deploy->root, config.tree_strategy, tree_salt);
+  std::shared_ptr<const SpanningTree> tree =
+      Lookup<SpanningTree>(store, tree_key);
+  if (tree == nullptr) {
+    StatusOr<SpanningTree> routing = BuildRoutingTree(
+        *deploy->graph, deploy->root, config.tree_strategy, tree_salt);
+    if (!routing.ok()) return routing.status();
+    auto built =
+        std::make_shared<const SpanningTree>(std::move(routing).value());
+    if (store != nullptr) store->Put(tree_key, built);
+    tree = std::move(built);
+  }
+
+  const std::string source_key = internal::SyntheticSourceKey(config, run);
+  std::shared_ptr<const SyntheticTrace> trace =
+      Lookup<SyntheticTrace>(store, source_key);
+  if (trace == nullptr) {
+    SyntheticTrace::Options options = config.synthetic;
+    options.seed = config.seed * 31 + static_cast<uint64_t>(run) + 1;
+    auto built =
+        std::make_shared<const SyntheticTrace>(deploy->normalized, options);
+    if (store != nullptr) store->Put(source_key, built);
+    trace = std::move(built);
+  }
+
+  // Per-run assembly: the Network gets its own copy of the tree template
+  // (fault repair mutates it) while aliasing the immutable radio graph.
   Scenario scenario;
-  RadioGraph radio(points, config.radio_range);
-  StatusOr<SpanningTree> routing = BuildRoutingTree(
-      radio, expanded_root, config.tree_strategy,
-      config.seed * 53 + static_cast<uint64_t>(run));
-  if (!routing.ok()) return routing.status();
   scenario.network = std::make_unique<Network>(
-      std::move(radio), std::move(routing).value(), config.energy,
-      config.packetizer);
-
-  // Sensor positions (normalized) feed the spatial correlation.
-  std::vector<Point2D> normalized;
-  scenario.sensor_of_vertex.assign(points.size(), -1);
-  for (size_t v = 0; v < points.size(); ++v) {
-    if (static_cast<int>(v) == expanded_root) continue;
-    scenario.sensor_of_vertex[v] = static_cast<int>(normalized.size());
-    normalized.push_back({points[v].x / config.area_width,
-                          points[v].y / config.area_height});
+      deploy->graph, SpanningTree(*tree), config.energy, config.packetizer);
+  const int num_vertices = scenario.network->num_vertices();
+  scenario.sensor_of_vertex.assign(static_cast<size_t>(num_vertices), -1);
+  int next_sensor = 0;
+  for (int v = 0; v < num_vertices; ++v) {
+    if (v == deploy->root) continue;
+    scenario.sensor_of_vertex[static_cast<size_t>(v)] = next_sensor++;
   }
-
-  SyntheticTrace::Options options = config.synthetic;
-  options.seed = config.seed * 31 + static_cast<uint64_t>(run) + 1;
-  scenario.owned_sources.push_back(
-      std::make_unique<SyntheticTrace>(std::move(normalized), options));
-  scenario.source = scenario.owned_sources.back().get();
+  scenario.shared_sources.push_back(trace);
+  scenario.source = trace.get();
 
   const int64_t n = scenario.network->num_sensors();
   scenario.k = std::clamp<int64_t>(
@@ -89,51 +164,83 @@ StatusOr<Scenario> BuildSynthetic(const SimulationConfig& config, int run) {
   return scenario;
 }
 
-StatusOr<Scenario> BuildPressure(const SimulationConfig& config, int run) {
-  PressureTrace::Options options = config.pressure;
-  options.seed = config.seed;  // the trace is fixed across runs (§5.1)
-  if (options.rounds < config.rounds + 2) options.rounds = config.rounds + 2;
-  auto trace = std::make_unique<PressureTrace>(options);
+StatusOr<Scenario> BuildPressure(const SimulationConfig& config, int run,
+                                 internal::ArtifactStore* store) {
+  // The trace (and its affine rescaling, which views it) is fixed across
+  // runs (§5.1) — one cache unit, built once per seed, not per run.
+  const std::string workload_key = internal::PressureWorkloadKey(config);
+  std::shared_ptr<const internal::PressureWorkload> workload =
+      Lookup<internal::PressureWorkload>(store, workload_key);
+  if (workload == nullptr) {
+    PressureTrace::Options options = config.pressure;
+    options.seed = config.seed;  // the trace is fixed across runs (§5.1)
+    if (options.rounds < config.rounds + 2) options.rounds = config.rounds + 2;
+    auto built = std::make_shared<internal::PressureWorkload>();
+    built->trace = std::make_shared<const PressureTrace>(options);
+    built->scaled = std::make_shared<const ScaledValueSource>(
+        built->trace.get(), config.pressure_scale_bits);
+    if (store != nullptr) store->Put(workload_key, built);
+    workload = std::move(built);
+  }
 
-  // SOM placement from the first measurements (§5.1.3).
-  const std::vector<double> features = trace->FirstMeasurements();
-  SelfOrganizingMap::Options som_options;
-  som_options.seed = config.seed * 131 + 7;
-  SelfOrganizingMap som(features, som_options);
-  const std::vector<Point2D> points =
-      som.PlaceStations(features, config.area_width, config.area_height);
-
-  RadioGraph graph(points, config.radio_range);
-  if (!graph.IsConnected()) {
-    return Status::FailedPrecondition(
-        "SOM station placement is disconnected at this radio range");
+  // SOM placement from the first measurements (§5.1.3) — also fixed across
+  // runs, so the radio graph is one shared artifact.
+  const std::string deploy_key = internal::PressureDeploymentKey(config);
+  std::shared_ptr<const RadioGraph> graph =
+      Lookup<RadioGraph>(store, deploy_key);
+  if (graph == nullptr) {
+    const std::vector<double> features =
+        workload->trace->FirstMeasurements();
+    SelfOrganizingMap::Options som_options;
+    som_options.seed = config.seed * 131 + 7;
+    SelfOrganizingMap som(features, som_options);
+    const std::vector<Point2D> points =
+        som.PlaceStations(features, config.area_width, config.area_height);
+    auto built =
+        std::make_shared<const RadioGraph>(points, config.radio_range);
+    if (!built->IsConnected()) {
+      return Status::FailedPrecondition(
+          "SOM station placement is disconnected at this radio range");
+    }
+    if (store != nullptr) store->Put(deploy_key, built);
+    graph = std::move(built);
   }
 
   // Only the root changes between runs.
   Rng rng(config.seed * 524287 + static_cast<uint64_t>(run) * 8191 + 3);
   const int root = static_cast<int>(
-      rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1));
+      rng.UniformInt(0, static_cast<int64_t>(graph->size()) - 1));
 
-  Scenario scenario;
-  StatusOr<SpanningTree> routing = BuildRoutingTree(
-      graph, root, config.tree_strategy,
-      config.seed * 53 + static_cast<uint64_t>(run));
-  if (!routing.ok()) return routing.status();
-  scenario.network = std::make_unique<Network>(
-      std::move(graph), std::move(routing).value(), config.energy,
-      config.packetizer);
-
-  scenario.sensor_of_vertex.assign(points.size(), -1);
-  for (size_t v = 0; v < points.size(); ++v) {
-    if (static_cast<int>(v) == root) continue;
-    scenario.sensor_of_vertex[v] = static_cast<int>(v);  // station index
+  const uint64_t tree_salt = config.seed * 53 + static_cast<uint64_t>(run);
+  const std::string tree_key =
+      internal::RoutingTreeKey(deploy_key, root, config.tree_strategy,
+                               tree_salt);
+  std::shared_ptr<const SpanningTree> tree =
+      Lookup<SpanningTree>(store, tree_key);
+  if (tree == nullptr) {
+    StatusOr<SpanningTree> routing =
+        BuildRoutingTree(*graph, root, config.tree_strategy, tree_salt);
+    if (!routing.ok()) return routing.status();
+    auto built =
+        std::make_shared<const SpanningTree>(std::move(routing).value());
+    if (store != nullptr) store->Put(tree_key, built);
+    tree = std::move(built);
   }
 
-  auto scaled = std::make_unique<ScaledValueSource>(
-      trace.get(), config.pressure_scale_bits);
-  scenario.owned_sources.push_back(std::move(trace));
-  scenario.owned_sources.push_back(std::move(scaled));
-  scenario.source = scenario.owned_sources.back().get();
+  Scenario scenario;
+  scenario.network = std::make_unique<Network>(
+      graph, SpanningTree(*tree), config.energy, config.packetizer);
+  const int num_vertices = scenario.network->num_vertices();
+  scenario.sensor_of_vertex.assign(static_cast<size_t>(num_vertices), -1);
+  for (int v = 0; v < num_vertices; ++v) {
+    if (v == root) continue;
+    scenario.sensor_of_vertex[static_cast<size_t>(v)] = v;  // station index
+  }
+  // The trace rides along so the scaler's raw back-pointer stays valid for
+  // the scenario's whole lifetime, wherever the workload was built.
+  scenario.shared_sources.push_back(workload->trace);
+  scenario.shared_sources.push_back(workload->scaled);
+  scenario.source = workload->scaled.get();
 
   const int64_t n = scenario.network->num_sensors();
   scenario.k = std::clamp<int64_t>(
@@ -144,14 +251,19 @@ StatusOr<Scenario> BuildPressure(const SimulationConfig& config, int run) {
 }  // namespace
 
 StatusOr<Scenario> BuildScenario(const SimulationConfig& config, int run) {
+  return BuildScenario(config, run, nullptr);
+}
+
+StatusOr<Scenario> BuildScenario(const SimulationConfig& config, int run,
+                                 internal::ArtifactStore* store) {
   WSNQ_CHECK_GE(config.num_sensors, 1);
   StatusOr<Scenario> scenario = Status::InvalidArgument("unknown dataset");
   switch (config.dataset) {
     case DatasetKind::kSynthetic:
-      scenario = BuildSynthetic(config, run);
+      scenario = BuildSynthetic(config, run, store);
       break;
     case DatasetKind::kPressure:
-      scenario = BuildPressure(config, run);
+      scenario = BuildPressure(config, run, store);
       break;
   }
   if (scenario.ok() && config.fault.enabled()) {

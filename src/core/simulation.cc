@@ -72,7 +72,10 @@ SimulationResult RunSimulation(const Scenario& scenario,
   for (int64_t round = 0; round < total_rounds; ++round) {
     WSNQ_TRACE_SET_ROUND(round);
     net->BeginRound();
-    const std::vector<int64_t> values = scenario.ValuesByVertex(round);
+    // A materialized row when ExecuteRun pre-computed the value matrix
+    // (every protocol replay then reads identical rows); otherwise computed
+    // into the scenario's scratch row.
+    const std::vector<int64_t>& values = scenario.ValuesView(round);
     {
       WSNQ_TRACE_SCOPE("round", round == 0 ? "init" : "update", -1);
       protocol->RunRound(net, values, round);

@@ -10,13 +10,19 @@ namespace wsnq {
 
 Network::Network(RadioGraph graph, SpanningTree tree, EnergyModel energy,
                  Packetizer packetizer)
+    : Network(std::make_shared<const RadioGraph>(std::move(graph)),
+              std::move(tree), energy, packetizer) {}
+
+Network::Network(std::shared_ptr<const RadioGraph> graph, SpanningTree tree,
+                 EnergyModel energy, Packetizer packetizer)
     : graph_(std::move(graph)),
       tree_(std::move(tree)),
       energy_(energy),
       packetizer_(packetizer) {
-  WSNQ_CHECK_EQ(graph_.size(), tree_.size());
-  round_energy_.assign(static_cast<size_t>(graph_.size()), 0.0);
-  total_energy_.assign(static_cast<size_t>(graph_.size()), 0.0);
+  WSNQ_CHECK(graph_ != nullptr);
+  WSNQ_CHECK_EQ(graph_->size(), tree_.size());
+  round_energy_.assign(static_cast<size_t>(graph_->size()), 0.0);
+  total_energy_.assign(static_cast<size_t>(graph_->size()), 0.0);
 }
 
 StatusOr<Network> Network::Create(RadioGraph graph, int root,
@@ -53,7 +59,7 @@ bool Network::SendToParent(int v, int64_t payload_bits) {
 
   if (policy_ == nullptr) {
     // The paper's reliable medium: one frame, always delivered.
-    Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
+    Debit(v, energy_.SendCost(msg.total_bits, graph_->rho()));
     round_packets_ += msg.packets;
     total_packets_ += msg.packets;
     WSNQ_TRACE_EVENT("net", "uplink", v, {"bits", payload_bits},
@@ -91,13 +97,13 @@ bool Network::SendToParent(int v, int64_t payload_bits) {
   // frame it heard plus every ack it sent. A crashed parent hears and
   // sends nothing, so its counts are zero and it is debited nothing.
   Debit(v, static_cast<double>(o.data_frames) *
-                   energy_.SendCost(msg.total_bits, graph_.rho()) +
+                   energy_.SendCost(msg.total_bits, graph_->rho()) +
                static_cast<double>(o.ack_frames_received) *
                    energy_.RecvCost(ack.total_bits));
   Debit(parent, static_cast<double>(o.data_frames_received) *
                         energy_.RecvCost(msg.total_bits) +
                     static_cast<double>(o.ack_frames) *
-                        energy_.SendCost(ack.total_bits, graph_.rho()));
+                        energy_.SendCost(ack.total_bits, graph_->rho()));
   const int64_t air_packets =
       static_cast<int64_t>(o.data_frames) * msg.packets +
       static_cast<int64_t>(o.ack_frames) * ack.packets;
@@ -139,7 +145,7 @@ void Network::BroadcastToChildren(int v, int64_t payload_bits) {
   if (kids.empty()) return;
   if (policy_ != nullptr && policy_->IsDown(v)) return;
   const PacketizedMessage msg = packetizer_.Packetize(payload_bits);
-  Debit(v, energy_.SendCost(msg.total_bits, graph_.rho()));
+  Debit(v, energy_.SendCost(msg.total_bits, graph_->rho()));
   for (int child : kids) {
     // Crashed children don't hear (or pay for) the beacon.
     if (policy_ != nullptr && policy_->IsDown(child)) continue;

@@ -113,6 +113,12 @@ class Network {
   Network(RadioGraph graph, SpanningTree tree, EnergyModel energy,
           Packetizer packetizer);
 
+  /// Shares an immutable radio graph with other runs / sweep points
+  /// (core/scenario_cache.h): the graph is const for the Network's whole
+  /// lifetime, so concurrent runs may alias one RadioGraph safely.
+  Network(std::shared_ptr<const RadioGraph> graph, SpanningTree tree,
+          EnergyModel energy, Packetizer packetizer);
+
   // Not copyable (accounting identity), movable.
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -126,13 +132,13 @@ class Network {
   // --- Topology -----------------------------------------------------------
 
   /// All vertices including the root.
-  int num_vertices() const { return graph_.size(); }
+  int num_vertices() const { return graph_->size(); }
   /// |N|: measurement-taking nodes (everything but the root).
-  int num_sensors() const { return graph_.size() - 1; }
+  int num_sensors() const { return graph_->size() - 1; }
   int root() const { return tree_.root; }
   bool is_root(int v) const { return v == tree_.root; }
   const SpanningTree& tree() const { return tree_; }
-  const RadioGraph& graph() const { return graph_; }
+  const RadioGraph& graph() const { return *graph_; }
   const Packetizer& packetizer() const { return packetizer_; }
   const EnergyModel& energy_model() const { return energy_; }
 
@@ -235,7 +241,8 @@ class Network {
 
   void ClearRoundCounters();
 
-  RadioGraph graph_;
+  /// Immutable; possibly aliased by other Networks (never null).
+  std::shared_ptr<const RadioGraph> graph_;
   SpanningTree tree_;
   EnergyModel energy_;
   Packetizer packetizer_;

@@ -30,6 +30,7 @@
 #include "algo/registry.h"
 #include "core/config.h"
 #include "core/experiment.h"
+#include "tests/test_scenario.h"
 
 namespace wsnq {
 namespace {
@@ -119,7 +120,7 @@ void PrintReplacementTable(const std::vector<AlgorithmAggregate>& aggs) {
   std::printf("};\n");
 }
 
-TEST(GoldenAggregate, DefaultConfigMatchesFrozenValues) {
+void CheckAgainstGoldenTable() {
   auto aggregates =
       RunExperiment(GoldenConfig(), PaperAlgorithms(), kGoldenRuns);
   ASSERT_TRUE(aggregates.ok()) << aggregates.status().ToString();
@@ -150,6 +151,19 @@ TEST(GoldenAggregate, DefaultConfigMatchesFrozenValues) {
     EXPECT_EQ(agg.max_rank_error, want.max_rank_error);
     EXPECT_EQ(agg.errors, want.errors);
   }
+}
+
+TEST(GoldenAggregate, DefaultConfigMatchesFrozenValues) {
+  // Default environment: the scenario cache is on unless disabled, so this
+  // leg pins the cached construction path against the frozen table.
+  CheckAgainstGoldenTable();
+}
+
+TEST(GoldenAggregate, FrozenValuesHoldWithScenarioCacheDisabled) {
+  // And the uncached path must land on the identical bits — the golden
+  // table does not know (or care) whether artifacts were shared.
+  testing_support::ScopedEnv env("WSNQ_SCENARIO_CACHE", "0");
+  CheckAgainstGoldenTable();
 }
 
 // The exactness headline of the paper on the frozen configuration, kept

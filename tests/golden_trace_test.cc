@@ -25,6 +25,7 @@
 #include "algo/registry.h"
 #include "core/config.h"
 #include "core/experiment.h"
+#include "tests/test_scenario.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -107,6 +108,41 @@ TEST(GoldenTraceTest, IqSmallScenarioMatchesFrozenTrace) {
            << expected.size() << "); regenerate with WSNQ_UPDATE_GOLDEN=1 "
               "if the change is intentional";
   }
+}
+
+// Runs the golden configuration and returns the serialized trace.
+std::string CaptureTrace() {
+  trace::InstallGlobalSink("unused.jsonl");
+  auto aggregates =
+      RunExperiment(GoldenConfig(),
+                    std::vector<AlgorithmKind>{AlgorithmKind::kIq},
+                    /*runs=*/2);
+  EXPECT_TRUE(aggregates.ok()) << aggregates.status().ToString();
+  EXPECT_NE(trace::GlobalSink(), nullptr);
+  std::string serialized = trace::GlobalSink()->SerializeJsonl();
+  trace::ClearGlobalSink();
+  return serialized;
+}
+
+TEST(GoldenTraceTest, ScenarioCacheNeverChangesTrace) {
+  // Scenario construction emits no trace events, and cached runs replay
+  // the same materialized values, so the full serialized trace must be
+  // byte-identical whether or not artifacts were shared across runs.
+  if (!trace::CompiledIn()) {
+    GTEST_SKIP() << "build has WSNQ_TRACING off; trace is empty by design";
+  }
+  std::string cache_off;
+  {
+    testing_support::ScopedEnv env("WSNQ_SCENARIO_CACHE", "0");
+    cache_off = CaptureTrace();
+  }
+  std::string cache_on;
+  {
+    testing_support::ScopedEnv env("WSNQ_SCENARIO_CACHE", "1");
+    cache_on = CaptureTrace();
+  }
+  ASSERT_FALSE(cache_off.empty());
+  EXPECT_EQ(cache_off, cache_on);
 }
 
 }  // namespace

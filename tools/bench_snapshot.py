@@ -12,7 +12,13 @@ PR (a couple of minutes on one core):
   * one lossy sweep (build/bench/fig_loss_sweep) at the same reduced
     scale — the same stack with the fault subsystem hot (Gilbert/iid link
     chains, ARQ retransmission loops), so reliability-path regressions
-    are visible separately from the lossless baseline.
+    are visible separately from the lossless baseline;
+  * the fig10 pressure sweep (build/bench/fig10_pressure) run twice, with
+    WSNQ_SCENARIO_CACHE=0 and =1, parsing the --profile stage report —
+    scenario-construction seconds (experiment/build_scenario plus, cached,
+    experiment/prepare_cache) and total wall clock for both, with the
+    cache-off/cache-on construction ratio recorded as the speedup the
+    scenario cache (core/scenario_cache.h) is buying.
 
 Snapshots are committed next to each other at the repo root, so a
 regression shows up as a diff between BENCH_<old>.json and BENCH_<new>.json
@@ -41,6 +47,10 @@ import sys
 TIMING_RE = re.compile(
     r"# timing figure=(?P<figure>\S+) threads=(?P<threads>\d+) "
     r"runs=(?P<runs>\d+) wall_s=(?P<wall_s>[0-9.]+)")
+
+PROFILE_RE = re.compile(
+    r"# profile stage=(?P<stage>\S+) count=(?P<count>\d+) "
+    r"total_s=(?P<total_s>[0-9.]+)")
 
 
 def run_micro(build_dir):
@@ -82,6 +92,48 @@ def run_sweep(build_dir, bench_name, runs, rounds):
     }
 
 
+def run_fig10_cache_leg(build_dir, runs, rounds, cache):
+    """Runs fig10_pressure once with the scenario cache on or off.
+
+    Returns total wall clock (summed over the bench's per-sweep timing
+    footers) and the scenario-construction seconds from the cumulative
+    --profile stage report (the last report per stage is the process
+    total; prepare_cache only exists on the cached path)."""
+    binary = os.path.join(build_dir, "bench", "fig10_pressure")
+    env = dict(os.environ, WSNQ_RUNS=str(runs), WSNQ_ROUNDS=str(rounds),
+               WSNQ_SCENARIO_CACHE=cache)
+    out = subprocess.run([binary, "--threads=1", "--profile"], check=True,
+                         capture_output=True, text=True, env=env)
+    footers = list(TIMING_RE.finditer(out.stderr))
+    if not footers:
+        raise RuntimeError(
+            f"no '# timing' footer in {binary} stderr:\n{out.stderr}")
+    stages = {}
+    for match in PROFILE_RE.finditer(out.stderr):
+        stages[match.group("stage")] = {
+            "count": int(match.group("count")),
+            "total_s": float(match.group("total_s")),
+        }
+    build_s = stages.get("experiment/build_scenario", {}).get("total_s", 0.0)
+    build_s += stages.get("experiment/prepare_cache", {}).get("total_s", 0.0)
+    return {
+        "runs": runs,
+        "rounds": rounds,
+        "wall_s": round(sum(float(m.group("wall_s")) for m in footers), 3),
+        "scenario_build_s": build_s,
+        "stages": stages,
+    }
+
+
+def run_fig10_cache_compare(build_dir, runs, rounds):
+    off = run_fig10_cache_leg(build_dir, runs, rounds, "0")
+    on = run_fig10_cache_leg(build_dir, runs, rounds, "1")
+    speedup = (off["scenario_build_s"] / on["scenario_build_s"]
+               if on["scenario_build_s"] > 0 else None)
+    return {"cache_off": off, "cache_on": on,
+            "scenario_build_speedup": round(speedup, 2) if speedup else None}
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Write a BENCH_<date>.json performance snapshot.")
@@ -106,18 +158,22 @@ def main():
                          args.rounds)
         loss = run_sweep(args.build_dir, "fig_loss_sweep", args.runs,
                          args.rounds)
+        fig10 = run_fig10_cache_compare(args.build_dir, args.runs,
+                                        args.rounds)
     except (OSError, subprocess.CalledProcessError, RuntimeError,
             json.JSONDecodeError, KeyError) as error:
         print(f"bench_snapshot: {error}", file=sys.stderr)
         return 1
 
     snapshot = {"date": date, "micro": micro, "fig6": fig6,
-                "loss_sweep": loss}
+                "loss_sweep": loss, "fig10_scenario_cache": fig10}
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {out_path} (fig6 wall_s={fig6['wall_s']:.3f}, "
           f"loss_sweep wall_s={loss['wall_s']:.3f}, "
+          f"fig10 scenario-build speedup="
+          f"{fig10['scenario_build_speedup']}x, "
           f"{len(micro['benchmarks'])} micro benchmarks)")
     return 0
 

@@ -22,6 +22,12 @@ Rules
                     non-determinism into results and traces; time through
                     prof::WallSeconds (util/trace.h) so profiling stays
                     gated and auditable.
+  const-cast        No const_cast or std::const_pointer_cast anywhere.
+                    Scenario artifacts (radio graphs, traces, value sources)
+                    are shared const across runs and sweep points by
+                    core/scenario_cache.h; casting constness away is exactly
+                    the mutation-of-shared-state bug the cache's determinism
+                    contract forbids, so the escape hatch is banned tree-wide.
   fault-rng         No wsnq::Rng (or util/rng.h include) inside src/fault/;
                     fault decisions must be pure counter-based hashes of
                     (seed, run, round/tick, src, dst) through the FaultKey
@@ -171,6 +177,26 @@ def check_raw_clock(root: str) -> List[Finding]:
     return findings
 
 
+# const_cast<...> and std::const_pointer_cast<...>. Whole-token match so
+# identifiers merely containing the words can't fire it.
+CONST_CAST_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(const_cast|const_pointer_cast)\s*<")
+
+
+def check_const_cast(root: str) -> List[Finding]:
+    findings = []
+    for rel in cxx_files(root):
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if CONST_CAST_RE.search(strip_comments_and_strings(raw)):
+                findings.append(Finding(
+                    rel, i, "const-cast",
+                    "const_cast/const_pointer_cast would let code mutate "
+                    "scenario artifacts shared const across runs "
+                    "(core/scenario_cache.h); restructure so mutable state "
+                    "is per-run instead"))
+    return findings
+
+
 # wsnq::Rng construction/use or an include of util/rng.h. The `Rng` token
 # is matched as a whole word so FaultRng-style names can't slip through on
 # a substring technicality.
@@ -285,6 +311,7 @@ CHECKS = [
     check_raw_random,
     check_raw_thread,
     check_raw_clock,
+    check_const_cast,
     check_fault_rng,
     check_test_coverage,
     check_include_guard,
