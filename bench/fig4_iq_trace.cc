@@ -12,6 +12,7 @@
 #include "bench/bench_common.h"
 #include "core/config.h"
 #include "core/scenario.h"
+#include "util/mutex.h"
 
 int main(int argc, char** argv) {
   using namespace wsnq;
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(iq.refinements_last_round()),
                 correct ? "yes" : "NO");
   }
-  if (trace::GlobalSink() != nullptr) trace::GlobalSink()->Fold(trace_buffer);
+  if (trace::GlobalSink() != nullptr) {
+    // Single-threaded driver; entering the fold phase is trivially sound.
+    ScopedSerialPhase fold_phase(FoldPhase());
+    trace::GlobalSink()->Fold(trace_buffer);
+  }
   return bench::FinishObservability(errors == 0 ? 0 : 1);
 }

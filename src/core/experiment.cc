@@ -7,6 +7,8 @@
 #include "core/scenario_cache.h"
 #include "core/simulation.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -28,8 +30,11 @@ namespace {
 /// order-sensitive in floating point, and the bit-identical guarantee of
 /// the parallel path rests on this fold replaying the exact Add sequence
 /// of the serial path. The metrics registry merge obeys the same rule
-/// (its gauges are floating-point sums).
-void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg) {
+/// (its gauges are floating-point sums). The discipline is the FoldPhase()
+/// capability: callers enter it with a ScopedSerialPhase, so a FoldRun
+/// from inside a pool task is a -Wthread-safety compile error.
+void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg)
+    WSNQ_REQUIRES(FoldPhase()) {
   agg->max_round_energy_mj.Add(result.mean_max_round_energy_mj);
   agg->lifetime_rounds.Add(result.lifetime_rounds);
   agg->packets.Add(result.mean_packets);
@@ -119,6 +124,9 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperimentImpl(
                                  buffer_for(run), cache);
       if (!status.ok()) return status;
       prof::ScopedTimer timer("experiment/fold");
+      // Serial path: this thread is the only one running, so the fold-phase
+      // claim holds trivially.
+      ScopedSerialPhase fold_phase(FoldPhase());
       for (size_t i = 0; i < factories.size(); ++i) {
         FoldRun(results[i], &aggregates[i]);
       }
@@ -146,6 +154,9 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperimentImpl(
   });
   if (!status.ok()) return status;
   prof::ScopedTimer timer("experiment/fold");
+  // ParallelFor has returned: every run task is done (happens-before via
+  // the pool's join), so this thread may enter the fold phase.
+  ScopedSerialPhase fold_phase(FoldPhase());
   for (int run = 0; run < runs; ++run) {
     for (size_t i = 0; i < factories.size(); ++i) {
       FoldRun(results[static_cast<size_t>(run)][i], &aggregates[i]);
@@ -227,6 +238,7 @@ int ResolveThreads(int requested) {
 namespace {
 
 int IntFromEnv(const char* name, int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return fallback;
   const int parsed = std::atoi(raw);

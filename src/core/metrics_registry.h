@@ -25,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace wsnq {
 
 class MetricsRegistry {
@@ -41,8 +44,12 @@ class MetricsRegistry {
 
   /// Folds `other` into this registry (entry-wise addition). Call in a
   /// deterministic order (run index) — gauge sums are order-sensitive in
-  /// floating point.
-  void Merge(const MetricsRegistry& other);
+  /// floating point. Merging is a fold-phase operation (the same serial
+  /// ordered-fold discipline as TraceSink::Fold), so it requires the
+  /// FoldPhase() capability: a Merge from pool-task code fails the
+  /// `analyze` build. Inc/Add/Observe carry no capability — a registry is
+  /// exclusively owned by its run task while being filled.
+  void Merge(const MetricsRegistry& other) WSNQ_REQUIRES(FoldPhase());
 
   /// One exported metric: `metric` is the flat name (histograms expand to
   /// "name[pow2_b]" plus "name[count]"), `value` the folded total.

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/check.h"
+
 namespace wsnq {
 namespace internal {
 
@@ -86,6 +88,7 @@ std::string RoutingTreeKey(const std::string& deployment_key, int root,
 }  // namespace internal
 
 bool ScenarioCache::Enabled() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
   const char* raw = std::getenv("WSNQ_SCENARIO_CACHE");
   return raw == nullptr || raw[0] == '\0' ||
          !(raw[0] == '0' && raw[1] == '\0');
@@ -112,7 +115,14 @@ StatusOr<Scenario> ScenarioCache::Build(const SimulationConfig& config,
   return BuildScenario(config, run, this);
 }
 
+void ScenarioCache::AssertPreparePhase() {
+  // The dynamic half of the phase capability: mutation is only legal while
+  // unsealed, i.e. inside the serial Prepare() pass.
+  WSNQ_DCHECK(!sealed_);
+}
+
 std::shared_ptr<const void> ScenarioCache::Get(const std::string& key) const {
+  AssertReadPhase();
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -130,6 +140,7 @@ void ScenarioCache::Put(const std::string& key,
     sealed_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  AssertPreparePhase();
   entries_.emplace(key, std::move(value));  // first build wins
 }
 

@@ -54,6 +54,7 @@
 #include "net/radio_graph.h"
 #include "net/spanning_tree.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace wsnq {
 namespace internal {
@@ -127,7 +128,10 @@ class ScenarioCache final : public internal::ArtifactStore {
   void Put(const std::string& key, std::shared_ptr<const void> value) override;
 
   bool sealed() const { return sealed_; }
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t size() const {
+    AssertReadPhase();
+    return static_cast<int64_t>(entries_.size());
+  }
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Artifacts offered after sealing and dropped (miss-path rebuilds).
@@ -136,7 +140,31 @@ class ScenarioCache final : public internal::ArtifactStore {
   }
 
  private:
-  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
+  /// The prepare-then-seal discipline as a phantom capability: mutating the
+  /// artifact map requires the *prepare phase* — the serial, run-index-order
+  /// Prepare() pass that runs before the ThreadPool fan-out. Pool-time code
+  /// cannot name (let alone assert) the phase, so under clang's
+  /// -Wthread-safety a new mutation path of `entries_` that does not route
+  /// through AssertPreparePhase() — which dynamically re-checks !sealed_ —
+  /// is a compile error, not a latent race.
+  class WSNQ_CAPABILITY("scenario_cache/prepare") PreparePhase {};
+
+  /// Dynamically checks the unsealed (serial Prepare) phase, then grants
+  /// the capability to the analysis. Defined in the .cc (needs check.h).
+  void AssertPreparePhase() WSNQ_ASSERT_CAPABILITY(prepare_phase_);
+  /// Reads are phase-agnostic: the map is exclusively owned while
+  /// preparing and immutable once sealed, so a shared grant is always
+  /// sound. Purely an analysis-level claim — no runtime effect.
+  void AssertReadPhase() const
+      WSNQ_ASSERT_SHARED_CAPABILITY(prepare_phase_) {}
+
+  PreparePhase prepare_phase_;
+  std::unordered_map<std::string, std::shared_ptr<const void>> entries_
+      WSNQ_GUARDED_BY(prepare_phase_);
+  // Written only by the serial Prepare() pass; read by pool-time Get/Put
+  // after the happens-before edge of the ThreadPool fan-out, so it stays
+  // outside the phase capability (guarding it would be circular: the
+  // asserts themselves read it).
   bool sealed_ = false;
   // Stat counters only — mutable atomics so the sealed, logically-const
   // Get() can count from concurrent run tasks without a data race.

@@ -15,7 +15,7 @@
 #define WSNQ_SKETCH_QDIGEST_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "algo/common.h"
@@ -75,7 +75,14 @@ class QDigest {
   int height_;
   int64_t compression_;
   int64_t total_ = 0;
-  std::unordered_map<int64_t, int64_t> nodes_;  // id -> count
+  // id -> count. Ordered map, deliberately: Merge/Compress iterate this
+  // and their interim structure feeds EncodedBits and the serialized
+  // digest, so iteration order must not depend on a hash function.
+  // (Compress's *outcome* is provably order-independent — sibling merges
+  // are symmetric and parents are processed in a later level pass — but
+  // std::map makes the guarantee structural instead of argued; wsnq-
+  // analyzer rule `unordered-iter` pins it.)
+  std::map<int64_t, int64_t> nodes_;
 };
 
 }  // namespace wsnq

@@ -1,0 +1,132 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry the clang thread-safety capability
+// attributes (util/thread_annotations.h), plus phantom *phase* capabilities
+// for the repo's serial-phase disciplines.
+//
+// libstdc++'s std::mutex is not annotated, so code that locks it directly is
+// invisible to -Wthread-safety. Every mutex in this repo is a wsnq::Mutex
+// and every lock a wsnq::MutexLock, which makes GUARDED_BY/REQUIRES
+// contracts checkable in the `analyze` preset while compiling to the exact
+// same code everywhere (the wrappers are zero-overhead forwarding).
+//
+// Condition-variable waits use explicit while loops at the call site
+//
+//   while (!ready_) cv_.Wait(lock);
+//
+// instead of predicate lambdas: the analysis treats a lambda as a separate
+// function and cannot see that the capability is held when the predicate
+// reads guarded members, whereas the while-loop form reads them in the
+// scope that provably holds the lock. (Semantics are identical — the
+// predicate overload of std::condition_variable::wait is that loop.)
+
+#ifndef WSNQ_UTIL_MUTEX_H_
+#define WSNQ_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace wsnq {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock.
+class WSNQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WSNQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() WSNQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a wsnq::Mutex. Supports temporary release (Unlock/Lock)
+/// for the worker-loop pattern in util/thread_pool.cc; the destructor
+/// releases only if the lock is currently held.
+class WSNQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WSNQ_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() WSNQ_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the mutex (it must be held).
+  void Unlock() WSNQ_RELEASE() { lock_.unlock(); }
+  /// Re-acquires the mutex after Unlock().
+  void Lock() WSNQ_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to wsnq::MutexLock. Wait() must be called with
+/// the lock held; it releases while blocked and re-acquires before
+/// returning, so from the caller's (and the analysis') point of view the
+/// capability is held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// --- Phase capabilities ---------------------------------------------------
+//
+// A SerialPhase is a *phantom* capability: it names a single-threaded phase
+// of execution instead of a lock. Functions annotated
+// WSNQ_REQUIRES(FoldPhase()) may only be called from code that entered the
+// phase via ScopedSerialPhase — under clang, a call from anywhere else is a
+// compile error. Entering the phase performs no synchronization (the
+// serial-phase guarantee comes from program structure: the fold loops run
+// on the calling thread after ParallelFor returned); the capability makes
+// that structure machine-checked instead of comment-enforced.
+
+class WSNQ_CAPABILITY("serial_phase") SerialPhase {
+ public:
+  SerialPhase() = default;
+  SerialPhase(const SerialPhase&) = delete;
+  SerialPhase& operator=(const SerialPhase&) = delete;
+};
+
+/// The process-wide *fold phase*: run results, trace buffers, and metrics
+/// registries are folded/serialized in run-index order on one thread
+/// (core/experiment.cc; docs/hardening.md "Concurrency & determinism").
+/// TraceSink::Fold and MetricsRegistry::Merge require this capability.
+inline SerialPhase& FoldPhase() {
+  static SerialPhase phase;
+  return phase;
+}
+
+/// RAII entry into a SerialPhase. Purely an analysis-level claim — the
+/// constructor/destructor are no-ops at runtime — so only take it where the
+/// single-threaded-phase contract genuinely holds.
+class WSNQ_SCOPED_CAPABILITY ScopedSerialPhase {
+ public:
+  explicit ScopedSerialPhase(SerialPhase& phase) WSNQ_ACQUIRE(phase) {
+    static_cast<void>(phase);  // referenced only by the attribute
+  }
+  ~ScopedSerialPhase() WSNQ_RELEASE() {}
+
+  ScopedSerialPhase(const ScopedSerialPhase&) = delete;
+  ScopedSerialPhase& operator=(const ScopedSerialPhase&) = delete;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_UTIL_MUTEX_H_

@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -49,9 +49,9 @@ Status ThreadPool::ParallelFor(int64_t n,
     return first;
   }
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_fn_ = &fn;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
@@ -60,14 +60,12 @@ Status ThreadPool::ParallelFor(int64_t n,
     error_status_ = Status::Ok();
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunk(worker_labels_[0].c_str());
   Status result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] {
-      return completed_ == job_n_ && active_ == 0;
-    });
+    MutexLock lock(mu_);
+    while (!(completed_ == job_n_ && active_ == 0)) done_cv_.Wait(lock);
     job_fn_ = nullptr;
     result = error_index_ >= 0 ? std::move(error_status_) : Status::Ok();
   }
@@ -76,19 +74,18 @@ Status ThreadPool::ParallelFor(int64_t n,
 
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock,
-                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(lock);
     if (shutdown_) return;
     seen_epoch = epoch_;
     if (job_fn_ == nullptr) continue;  // woke after the job drained
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     RunChunk(worker_labels_[static_cast<size_t>(worker)].c_str());
-    lock.lock();
+    lock.Lock();
     --active_;
-    if (completed_ == job_n_ && active_ == 0) done_cv_.notify_all();
+    if (completed_ == job_n_ && active_ == 0) done_cv_.NotifyAll();
   }
 }
 
@@ -107,17 +104,18 @@ void ThreadPool::RunChunk(const char* label) {
       return;
     }
     Status status = (*job_fn_)(index);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!status.ok() &&
         (error_index_ < 0 || index < error_index_)) {
       error_index_ = index;
       error_status_ = std::move(status);
     }
-    if (++completed_ == job_n_) done_cv_.notify_all();
+    if (++completed_ == job_n_) done_cv_.NotifyAll();
   }
 }
 
 int ThreadPool::DefaultThreadCount() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
   const char* raw = std::getenv("WSNQ_THREADS");
   if (raw != nullptr && raw[0] != '\0') {
     const int parsed = std::atoi(raw);

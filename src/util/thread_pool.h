@@ -16,15 +16,15 @@
 #define WSNQ_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace wsnq {
 
@@ -52,7 +52,8 @@ class ThreadPool {
   /// run after a failure. Calls on the same pool serialize; calling
   /// ParallelFor from inside `fn` on the same pool deadlocks (spin up a
   /// separate pool for nested fan-out).
-  Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn);
+  Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn)
+      WSNQ_EXCLUDES(run_mu_, mu_);
 
   /// Thread count used when the caller does not pin one: WSNQ_THREADS when
   /// set to a positive integer, else std::thread::hardware_concurrency(),
@@ -71,25 +72,30 @@ class ThreadPool {
   /// index 0 is the calling thread.
   std::vector<std::string> worker_labels_;
 
-  std::mutex run_mu_;  ///< serializes whole ParallelFor calls
+  /// Serializes whole ParallelFor calls; always taken before mu_.
+  Mutex run_mu_ WSNQ_ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers: new job or shutdown
-  std::condition_variable done_cv_;  ///< caller: current job drained
-  uint64_t epoch_ = 0;               ///< bumped once per ParallelFor
-  bool shutdown_ = false;
-  int active_ = 0;  ///< workers currently inside RunChunk
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers: new job or shutdown
+  CondVar done_cv_;  ///< caller: current job drained
+  uint64_t epoch_ WSNQ_GUARDED_BY(mu_) = 0;  ///< bumped once per ParallelFor
+  bool shutdown_ WSNQ_GUARDED_BY(mu_) = false;
+  /// Workers currently inside RunChunk.
+  int active_ WSNQ_GUARDED_BY(mu_) = 0;
 
   // State of the in-flight job. job_fn_ / job_n_ are written under mu_
   // before the epoch bump and stay frozen until the caller observed
-  // completed_ == job_n_ and active_ == 0, so RunChunk may read them
-  // without the lock.
+  // completed_ == job_n_ and active_ == 0, so RunChunk deliberately reads
+  // them without the lock — they carry no GUARDED_BY for that reason (the
+  // happens-before edge is the epoch bump + wakeup, pinned by the tsan
+  // preset, not a critical section).
   const std::function<Status(int64_t)>* job_fn_ = nullptr;
   int64_t job_n_ = 0;
   std::atomic<int64_t> next_{0};
-  int64_t completed_ = 0;     ///< guarded by mu_
-  int64_t error_index_ = -1;  ///< guarded by mu_; smallest failing index
-  Status error_status_;       ///< guarded by mu_
+  int64_t completed_ WSNQ_GUARDED_BY(mu_) = 0;
+  /// Smallest failing index; -1 while no invocation failed.
+  int64_t error_index_ WSNQ_GUARDED_BY(mu_) = -1;
+  Status error_status_ WSNQ_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

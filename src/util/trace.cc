@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace wsnq {
 namespace trace {
@@ -213,6 +213,9 @@ void InstallGlobalSink(const std::string& path) {
 
 Status FlushGlobalSink() {
   if (g_sink == nullptr) return Status::Ok();
+  // Flushing happens on the main thread after every run buffer has been
+  // folded; entering the fold phase here is that claim, checked by clang.
+  ScopedSerialPhase fold_phase(FoldPhase());
   Status status = g_sink->WriteFile();
   g_sink.reset();
   return status;
@@ -233,12 +236,15 @@ struct StageStat {
 
 std::atomic<bool> g_enabled{false};
 
-std::mutex& ProfileMu() {
-  static std::mutex mu;
+/// Guards the profile's stage map (workers call AddSample concurrently).
+Mutex& ProfileMu() {
+  static Mutex mu;
   return mu;
 }
 
-std::map<std::string, StageStat>& Stages() {
+/// The ProfileMu()-guarded stage accumulator: the REQUIRES annotation makes
+/// every access point hold the mutex or fail the `analyze` build.
+std::map<std::string, StageStat>& Stages() WSNQ_REQUIRES(ProfileMu()) {
   static std::map<std::string, StageStat> stages;
   return stages;
 }
@@ -256,7 +262,7 @@ double WallSeconds() {
 }
 
 void AddSample(const char* stage, double seconds) {
-  std::lock_guard<std::mutex> lock(ProfileMu());
+  MutexLock lock(ProfileMu());
   StageStat& stat = Stages()[stage];
   ++stat.count;
   stat.total_s += seconds;
@@ -270,7 +276,7 @@ ScopedTimer::~ScopedTimer() {
 }
 
 void ReportToStderr() {
-  std::lock_guard<std::mutex> lock(ProfileMu());
+  MutexLock lock(ProfileMu());
   for (const auto& [stage, stat] : Stages()) {
     std::fprintf(stderr, "# profile stage=%s count=%lld total_s=%.6f\n",
                  stage.c_str(), static_cast<long long>(stat.count),
@@ -281,7 +287,7 @@ void ReportToStderr() {
 Status WriteJson(const std::string& path) {
   std::string body = "{\"stages\":[\n";
   {
-    std::lock_guard<std::mutex> lock(ProfileMu());
+    MutexLock lock(ProfileMu());
     bool first = true;
     for (const auto& [stage, stat] : Stages()) {
       char buf[256];

@@ -28,7 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace wsnq {
 namespace trace {
@@ -64,7 +66,11 @@ struct Event {
 
 /// Collects the events of ONE experiment run. Each run task owns its buffer
 /// exclusively (no locking); buffers are folded into the sink on the
-/// calling thread in run-index order.
+/// calling thread in run-index order. Exclusive ownership is why the class
+/// carries no capability annotations: it is never shared, the RunScope
+/// thread_local install is the whole access path, and the cross-thread
+/// hand-off to the folding thread happens-before via ParallelFor's return
+/// (the fold side is guarded — see TraceSink and FoldPhase()).
 class TraceBuffer {
  public:
   explicit TraceBuffer(int run) : run_(run) {}
@@ -134,30 +140,36 @@ class ScopedSpan {
 /// Accumulates folded run buffers and serializes them. Fold() must be
 /// called in run-index order on a single thread; it rebases each buffer's
 /// logical ticks onto one global clock, which is what makes the serialized
-/// bytes independent of the thread count.
+/// bytes independent of the thread count. That discipline is expressed as
+/// the FoldPhase() capability (util/mutex.h): folding requires it
+/// exclusively, serialization at least shared, so a Fold() call from
+/// pool-task code — where the phase capability is provably absent — is a
+/// -Wthread-safety compile error under the `analyze` preset.
 class TraceSink {
  public:
   explicit TraceSink(std::string path) : path_(std::move(path)) {}
 
   const std::string& path() const { return path_; }
-  int64_t event_count() const { return static_cast<int64_t>(events_.size()); }
+  int64_t event_count() const WSNQ_REQUIRES_SHARED(FoldPhase()) {
+    return static_cast<int64_t>(events_.size());
+  }
 
   /// Appends `buffer`'s events with rebased ticks. Call in run order.
-  void Fold(const TraceBuffer& buffer);
+  void Fold(const TraceBuffer& buffer) WSNQ_REQUIRES(FoldPhase());
 
   /// One JSON object per line; full (run, round, phase, node) key.
-  std::string SerializeJsonl() const;
+  std::string SerializeJsonl() const WSNQ_REQUIRES_SHARED(FoldPhase());
   /// Chrome/Perfetto trace_event JSON: pid = run, tid = node + 1 (0 is the
   /// coordinator), ts/dur in logical ticks.
-  std::string SerializeChromeJson() const;
+  std::string SerializeChromeJson() const WSNQ_REQUIRES_SHARED(FoldPhase());
 
   /// Writes to path(): ".jsonl" selects JSONL, anything else Chrome JSON.
-  Status WriteFile() const;
+  Status WriteFile() const WSNQ_REQUIRES_SHARED(FoldPhase());
 
  private:
   std::string path_;
-  int64_t next_tick_ = 0;
-  std::vector<Event> events_;
+  int64_t next_tick_ WSNQ_GUARDED_BY(FoldPhase()) = 0;
+  std::vector<Event> events_ WSNQ_GUARDED_BY(FoldPhase());
 };
 
 /// True when the tree was compiled with -DWSNQ_TRACING=1 (i.e. the

@@ -1,0 +1,11 @@
+// wsnq-analyzer corpus: layering — core sits above algo/sketch/data/fault
+// in the DAG and may never reach into bench (or tests/tools/examples).
+// NOT compiled.
+
+#include "bench/bench_common.h"  // expect-diag: layering
+#include "core/config.h"
+#include "util/status.h"
+
+namespace corpus {
+int LayeringFixtureCore() { return 0; }
+}  // namespace corpus

@@ -1,0 +1,24 @@
+// wsnq-analyzer corpus: suppression mechanics. A suppression must name a
+// real rule AND carry a non-empty justification; anything less is itself
+// a finding (bad-suppression) and silences nothing. NOT compiled.
+
+#include <thread>
+
+namespace corpus {
+
+void Justified() {
+  // Valid suppression: silences ban-raw-thread on its line, no finding.
+  std::thread t;  // wsnq-analyzer: allow(ban-raw-thread): corpus pins that justified suppressions are honored
+  t.detach();
+}
+
+void Unjustified() {
+  std::thread t;  // wsnq-analyzer: allow(ban-raw-thread) // expect-diag: bad-suppression, ban-raw-thread
+  t.detach();
+}
+
+int UnknownRule() {
+  return 0;  // wsnq-analyzer: allow(no-such-rule): rule must exist // expect-diag: bad-suppression
+}
+
+}  // namespace corpus

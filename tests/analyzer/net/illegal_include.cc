@@ -1,0 +1,9 @@
+// wsnq-analyzer corpus: layering — net is below core; an upward include
+// inverts the DAG (util <- net <- ... <- core). NOT compiled.
+
+#include "core/experiment.h"  // expect-diag: layering
+#include "net/geometry.h"
+
+namespace corpus {
+int LayeringFixtureNet() { return 0; }
+}  // namespace corpus

@@ -1,0 +1,37 @@
+// wsnq-analyzer corpus: ban-seq-rng — sequential RNG types and calls,
+// including through type aliases; plus negatives where `rand` is a field
+// name and `Brand` merely contains the substring. NOT compiled.
+
+#include <cstdlib>
+#include <random>
+
+namespace corpus {
+
+using Gen = std::mt19937;  // expect-diag: ban-seq-rng
+
+int AliasedEngine() {
+  Gen gen(42);  // expect-diag: ban-seq-rng
+  return static_cast<int>(gen());
+}
+
+int EntropySource() {
+  std::random_device entropy;  // expect-diag: ban-seq-rng
+  return static_cast<int>(entropy());
+}
+
+int LibcRand() {
+  return rand();  // expect-diag: ban-seq-rng
+}
+
+// Negatives: a field *named* rand is not a call of ::rand(), and Brand()
+// only contains the substring.
+struct Config {
+  int rand = 0;
+};
+int Brand() { return 7; }
+int UsesNegatives() {
+  Config c;
+  return c.rand + Brand();
+}
+
+}  // namespace corpus

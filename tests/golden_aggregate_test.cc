@@ -125,6 +125,7 @@ void CheckAgainstGoldenTable() {
       RunExperiment(GoldenConfig(), PaperAlgorithms(), kGoldenRuns);
   ASSERT_TRUE(aggregates.ok()) << aggregates.status().ToString();
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
   if (std::getenv("WSNQ_UPDATE_GOLDEN") != nullptr) {
     PrintReplacementTable(aggregates.value());
     GTEST_SKIP() << "WSNQ_UPDATE_GOLDEN set: printed replacement table, "

@@ -26,6 +26,7 @@
 #include "core/config.h"
 #include "core/experiment.h"
 #include "tests/test_scenario.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -77,10 +78,14 @@ TEST(GoldenTraceTest, IqSmallScenarioMatchesFrozenTrace) {
                     /*runs=*/1);
   ASSERT_TRUE(aggregates.ok()) << aggregates.status().ToString();
   ASSERT_NE(trace::GlobalSink(), nullptr);
+  // RunExperiment has returned, so every run buffer is folded and this
+  // thread may (re-)enter the fold phase to serialize.
+  ScopedSerialPhase fold_phase(FoldPhase());
   const std::string actual = trace::GlobalSink()->SerializeJsonl();
   trace::ClearGlobalSink();
   ASSERT_FALSE(actual.empty());
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
   if (std::getenv("WSNQ_UPDATE_GOLDEN") != nullptr) {
     std::FILE* f = std::fopen(GoldenPath().c_str(), "wb");
     ASSERT_NE(f, nullptr) << "cannot write " << GoldenPath();
@@ -119,6 +124,7 @@ std::string CaptureTrace() {
                     /*runs=*/2);
   EXPECT_TRUE(aggregates.ok()) << aggregates.status().ToString();
   EXPECT_NE(trace::GlobalSink(), nullptr);
+  ScopedSerialPhase fold_phase(FoldPhase());
   std::string serialized = trace::GlobalSink()->SerializeJsonl();
   trace::ClearGlobalSink();
   return serialized;

@@ -1,0 +1,17 @@
+// wsnq-lint corpus: const-cast. Casting constness off shared scenario
+// artifacts is banned tree-wide. NOT compiled.
+
+#include <memory>
+
+const int* Shared();
+
+int* Mutate() {
+  return const_cast<int*>(Shared());  // lint-expect: const-cast
+}
+
+std::shared_ptr<int> Thaw(std::shared_ptr<const int> p) {
+  return std::const_pointer_cast<int>(p);  // lint-expect: const-cast
+}
+
+// Negative: identifiers that merely contain the token.
+int my_const_cast_counter = 0;

@@ -1,0 +1,12 @@
+// wsnq-lint corpus: fault-rng. Fault decisions must be counter-keyed
+// hashes (fault/fault_key.h), never sequential Rng draws. NOT compiled.
+
+#include "util/rng.h"  // lint-expect: fault-rng
+
+void Decide() {
+  wsnq::Rng stream(7);  // lint-expect: fault-rng
+  (void)stream;
+}
+
+// Negative: FaultRng-style names must not fire on a substring.
+struct FaultRngPolicy {};

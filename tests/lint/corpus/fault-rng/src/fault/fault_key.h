@@ -1,0 +1,4 @@
+// wsnq-lint corpus: fault/fault_key.h is the exempt keying helper; it may
+// mention Rng in code. No findings expected here.
+
+inline int FaultBitsFor(int Rng) { return Rng; }

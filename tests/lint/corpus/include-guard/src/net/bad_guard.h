@@ -1,0 +1,4 @@
+// wsnq-lint corpus: non-canonical guard name. lint-expect-file: include-guard
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,5 @@
+// wsnq-lint corpus: canonical WSNQ_<DIR>_<FILE>_H_ guard. No findings
+// expected here.
+#ifndef WSNQ_NET_GOOD_GUARD_H_
+#define WSNQ_NET_GOOD_GUARD_H_
+#endif  // WSNQ_NET_GOOD_GUARD_H_

@@ -1,0 +1,2 @@
+// wsnq-lint corpus: pragma once is not a guard. lint-expect-file: include-guard
+#pragma once

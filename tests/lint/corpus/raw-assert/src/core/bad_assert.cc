@@ -1,0 +1,19 @@
+// wsnq-lint corpus: raw-assert. Raw assert()/abort() must route through
+// WSNQ_CHECK/WSNQ_DCHECK (util/check.h). NOT compiled.
+
+#include <cstdlib>
+
+void Validate(int x) {
+  assert(x > 0);  // lint-expect: raw-assert
+  if (x < 0) {
+    abort();  // lint-expect: raw-assert
+  }
+}
+
+// Negatives: static_assert, gtest ASSERT_*, and the sanctioned macros.
+static_assert(sizeof(int) >= 4, "int width");
+
+void Quiet(int x) {
+  WSNQ_CHECK_GE(x, 0);
+  ASSERT_TRUE(x >= 0);
+}

@@ -1,0 +1,10 @@
+// wsnq-lint corpus: bench/ is allowlisted for wall-clock sweep footers.
+// No findings expected here.
+
+#include <chrono>
+
+long FooterStamp() {
+  return std::chrono::high_resolution_clock::now()
+      .time_since_epoch()
+      .count();
+}

@@ -1,0 +1,14 @@
+// wsnq-lint corpus: raw-clock. Wall-clock reads in simulation code leak
+// non-determinism; time goes through prof::WallSeconds. NOT compiled.
+
+#include <chrono>
+
+long Stamp() {
+  auto t = std::chrono::steady_clock::now();  // lint-expect: raw-clock
+  auto u = system_clock::now();               // lint-expect: raw-clock
+  (void)u;
+  return t.time_since_epoch().count();
+}
+
+// Negative: naming a clock type without calling now().
+using Clock = std::chrono::steady_clock;

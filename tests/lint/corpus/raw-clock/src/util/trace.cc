@@ -1,0 +1,10 @@
+// wsnq-lint corpus: the allowlisted profiling clock site. No findings
+// expected here.
+
+#include <chrono>
+
+double WallSecondsLike() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,4 @@
+// wsnq-lint corpus: the allowlisted RNG implementation is the one place
+// allowed to name the underlying engine. No findings expected here.
+
+using Engine = std::mt19937;

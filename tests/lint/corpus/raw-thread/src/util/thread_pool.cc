@@ -1,0 +1,8 @@
+// wsnq-lint corpus: the allowlisted pool implementation may construct
+// std::thread. No findings expected here.
+
+#include <thread>
+
+struct PoolLike {
+  std::thread worker_;
+};

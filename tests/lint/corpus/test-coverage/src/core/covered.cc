@@ -1,0 +1,3 @@
+// wsnq-lint corpus: covered by sample_test.cc. No findings expected here.
+
+#include "core/covered.h"

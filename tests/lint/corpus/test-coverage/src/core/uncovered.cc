@@ -1,0 +1,4 @@
+// wsnq-lint corpus: no registered test references core/uncovered.h.
+// lint-expect-file: test-coverage
+
+#include "core/uncovered.h"

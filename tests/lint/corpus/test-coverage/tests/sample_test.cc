@@ -1,0 +1,4 @@
+// wsnq-lint corpus: references core/covered.h, so src/core/covered.cc
+// counts as covered. NOT compiled.
+
+#include "core/covered.h"

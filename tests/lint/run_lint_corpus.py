@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Regression corpus for tools/wsnq_lint.py — pins every rule via ctest.
+
+Each directory under tests/lint/corpus/<rule>/ is a miniature repo-root
+overlay (src/..., tests/..., bench/...) holding true-positive snippets
+annotated with expectation markers, plus unmarked false-positive bait and
+allowlist fixtures. For each rule the driver copies the overlay into a
+temp root, runs exactly that rule's check_<rule>() function, and compares
+the (path, line, rule) finding set against the markers:
+
+    // lint-expect: <rule>          line-level finding expected HERE
+    // lint-expect-file: <rule>     file-level finding (line 0) expected
+    #  lint-expect-file: <rule>     same, CMake comment style
+
+The tracked-build rule needs a git index rather than file contents, so it
+is pinned programmatically: a scratch `git init` repo with staged build
+artifacts must yield exactly those artifacts as findings, and a clean
+scratch repo none.
+
+Exit status: 0 when every rule's findings match its expectations, 1 on
+any mismatch (missing or unexpected findings are printed per rule).
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CORPUS = os.path.join(HERE, "corpus")
+sys.path.insert(0, os.path.join(HERE, os.pardir, os.pardir, "tools"))
+
+import wsnq_lint  # noqa: E402  (path set up above)
+
+# Matches anywhere in a line so markers can trail prose inside a comment.
+EXPECT_RE = re.compile(r"lint-expect(-file)?:\s*([a-z\-]+)")
+
+
+def expectations(overlay_root):
+    """Collect (relpath, line, rule) tuples from marker comments."""
+    expected = set()
+    for dirpath, _, filenames in os.walk(overlay_root):
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, overlay_root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for m in EXPECT_RE.finditer(line):
+                        file_level = m.group(1) is not None
+                        expected.add((rel, 0 if file_level else lineno,
+                                      m.group(2)))
+    return expected
+
+
+def report(rule, expected, found):
+    missing = sorted(expected - found)
+    unexpected = sorted(found - expected)
+    for path, line, r in missing:
+        print(f"{rule}: MISSING   {path}:{line} [{r}]")
+    for path, line, r in unexpected:
+        print(f"{rule}: UNEXPECTED {path}:{line} [{r}]")
+    if not missing and not unexpected:
+        print(f"{rule}: ok ({len(expected)} expected finding(s))")
+        return True
+    return False
+
+
+def run_overlay_rule(rule):
+    overlay = os.path.join(CORPUS, rule)
+    check = getattr(wsnq_lint, "check_" + rule.replace("-", "_"))
+    with tempfile.TemporaryDirectory(prefix="wsnq-lint-corpus-") as tmp:
+        root = os.path.join(tmp, "repo")
+        shutil.copytree(overlay, root)
+        found = {(f.path.replace(os.sep, "/"), f.line, f.rule)
+                 for f in check(root)}
+    return report(rule, expectations(overlay), found)
+
+
+def run_tracked_build():
+    """tracked-build inspects the git index, not file contents."""
+    rule = "tracked-build"
+    with tempfile.TemporaryDirectory(prefix="wsnq-lint-corpus-") as tmp:
+        subprocess.run(["git", "init", "-q", tmp], check=True)
+        artifacts = ["build/CMakeCache.txt", "src/quantile.o"]
+        clean = ["src/quantile.cc", ".gitignore"]
+        for rel in artifacts + clean:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("// corpus fixture\n")
+        subprocess.run(["git", "-C", tmp, "add", "-f", "-A"], check=True)
+        found = {(f.path, f.line, f.rule)
+                 for f in wsnq_lint.check_tracked_build(tmp)}
+        expected = {(rel, 0, rule) for rel in artifacts}
+        ok = report(rule, expected, found)
+        # A repo with nothing staged but sources must be clean.
+        subprocess.run(["git", "-C", tmp, "rm", "-q", "--cached", "-r", "."],
+                       check=True)
+        subprocess.run(["git", "-C", tmp, "add"] + clean, check=True)
+        residue = wsnq_lint.check_tracked_build(tmp)
+        if residue:
+            print(f"{rule}: UNEXPECTED findings in clean repo: {residue}")
+            ok = False
+    return ok
+
+
+def main():
+    overlay_rules = sorted(
+        d for d in os.listdir(CORPUS)
+        if os.path.isdir(os.path.join(CORPUS, d)))
+    all_rules = {c.__name__.replace("check_", "", 1).replace("_", "-")
+                 for c in wsnq_lint.CHECKS}
+    pinned = set(overlay_rules) | {"tracked-build"}
+    ok = all(run_overlay_rule(rule) for rule in overlay_rules)
+    ok = run_tracked_build() and ok
+    unpinned = sorted(all_rules - pinned)
+    if unpinned:
+        print(f"corpus gap: rules with no corpus coverage: {unpinned}")
+        ok = False
+    stray = sorted(pinned - all_rules)
+    if stray:
+        print(f"corpus names unknown rules: {stray}")
+        ok = False
+    if ok:
+        print(f"wsnq-lint corpus: ok ({len(pinned)} rules pinned)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

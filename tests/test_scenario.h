@@ -26,6 +26,7 @@ namespace testing_support {
 class ScopedEnv {
  public:
   ScopedEnv(const char* name, const char* value) : name_(name) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
     const char* old = std::getenv(name);
     had_old_ = old != nullptr;
     if (had_old_) old_ = old;

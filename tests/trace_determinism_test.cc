@@ -15,6 +15,7 @@
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/metrics_registry.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace wsnq {
@@ -62,6 +63,9 @@ Capture RunOnce(int threads, bool faulted = false) {
   trace::TraceSink* sink = trace::GlobalSink();
   EXPECT_NE(sink, nullptr);
   if (sink != nullptr) {
+    // RunExperiment has returned: folding is done, this thread may hold
+    // the fold phase to serialize.
+    ScopedSerialPhase fold_phase(FoldPhase());
     capture.jsonl = sink->SerializeJsonl();
     capture.chrome = sink->SerializeChromeJson();
     capture.event_count = sink->event_count();

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/metrics_registry.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace wsnq {
@@ -54,6 +55,8 @@ TEST(TraceSinkTest, FoldRebasesTicksInRunOrder) {
   run1.Instant("net", "c", -1);
 
   trace::TraceSink sink("unused.jsonl");
+  // Tests fold on the main thread — the fold-phase claim holds trivially.
+  ScopedSerialPhase fold_phase(FoldPhase());
   sink.Fold(run0);
   sink.Fold(run1);
   ASSERT_EQ(sink.event_count(), 3);
@@ -72,6 +75,7 @@ TEST(TraceSinkTest, SerializeJsonlHasFullKey) {
   buffer.set_round(5);
   buffer.Instant("refinement", "drill", 9, {{"b", 12}});
   trace::TraceSink sink("unused.jsonl");
+  ScopedSerialPhase fold_phase(FoldPhase());
   sink.Fold(buffer);
   const std::string jsonl = sink.SerializeJsonl();
   EXPECT_EQ(jsonl,
@@ -87,6 +91,7 @@ TEST(TraceSinkTest, SerializeChromeJsonIsWellFormed) {
   buffer.Counter("round_packets", 7);
   buffer.End("round", "update", -1);
   trace::TraceSink sink("unused.json");
+  ScopedSerialPhase fold_phase(FoldPhase());
   sink.Fold(buffer);
   const std::string json = sink.SerializeChromeJson();
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
@@ -103,6 +108,7 @@ TEST(TraceSinkTest, WriteFileSelectsFormatByExtension) {
   trace::TraceBuffer buffer(0);
   buffer.Instant("net", "x", -1);
   const std::string dir = ::testing::TempDir();
+  ScopedSerialPhase fold_phase(FoldPhase());
   for (const char* name : {"t.jsonl", "t.json"}) {
     trace::TraceSink sink(dir + "/" + name);
     sink.Fold(buffer);
@@ -170,7 +176,11 @@ TEST(TraceGlobalSinkTest, InstallFlushAndClear) {
   ASSERT_NE(trace::GlobalSink(), nullptr);
   trace::TraceBuffer buffer(0);
   buffer.Instant("net", "x", -1);
-  trace::GlobalSink()->Fold(buffer);
+  {
+    // Scoped so FlushGlobalSink can re-enter the fold phase on its own.
+    ScopedSerialPhase fold_phase(FoldPhase());
+    trace::GlobalSink()->Fold(buffer);
+  }
   ASSERT_TRUE(trace::FlushGlobalSink().ok());
   EXPECT_EQ(trace::GlobalSink(), nullptr);
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -231,6 +241,7 @@ TEST(MetricsRegistryTest, MergeAddsEntrywise) {
   b.Inc("floods", 2);
   b.Add("energy", 0.5);
   b.Observe("bits", 5);
+  ScopedSerialPhase fold_phase(FoldPhase());
   a.Merge(b);
   EXPECT_EQ(a.counter("rounds"), 15);
   EXPECT_EQ(a.counter("floods"), 2);

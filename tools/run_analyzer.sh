@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Runs the full wsnq-analyzer gate the way CI's analyze job does:
+#   1. ensure a compile_commands.json exists (configures the `analyze`
+#      preset when clang++ is available, else any existing build dir);
+#   2. tree-wide analyzer scan (auto engine: libclang when importable);
+#   3. expected-diagnostic corpus selftest (fallback engine — the pinned
+#      baseline every checkout can run).
+# Exit status is nonzero when any step finds anything.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+compdb=""
+
+for dir in "$root/build-analyze" "$root/build"; do
+  if [ -f "$dir/compile_commands.json" ]; then
+    compdb="$dir"
+    break
+  fi
+done
+
+if [ -z "$compdb" ]; then
+  if command -v clang++ >/dev/null 2>&1 && command -v cmake >/dev/null 2>&1
+  then
+    echo "run_analyzer: configuring the analyze preset for a compdb" >&2
+    cmake --preset analyze -S "$root" >/dev/null
+    compdb="$root/build-analyze"
+  else
+    echo "run_analyzer: no compile_commands.json and no clang++;" \
+         "running without a compdb (fallback engine)" >&2
+    compdb="$root/build"  # nonexistent is fine: engines degrade gracefully
+  fi
+fi
+
+status=0
+python3 "$root/tools/wsnq_analyzer.py" --root "$root" --compdb "$compdb" \
+  || status=1
+python3 "$root/tools/wsnq_analyzer.py" --engine=fallback \
+  --selftest "$root/tests/analyzer" || status=1
+exit $status

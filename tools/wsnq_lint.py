@@ -61,6 +61,11 @@ from typing import List, NamedTuple
 CXX_ROOTS = ("src", "tests", "tools", "bench", "examples")
 CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
 
+# Expected-diagnostic corpora: these trees deliberately violate the rules
+# (they pin wsnq-lint and wsnq-analyzer behavior via ctest) and are only
+# ever scanned by their own selftest drivers, never as production code.
+CORPUS_DIRS = (os.path.join("tests", "analyzer"), os.path.join("tests", "lint"))
+
 
 class Finding(NamedTuple):
     path: str  # repo-relative
@@ -76,6 +81,10 @@ def cxx_files(root: str):
             continue
         for dirpath, dirnames, filenames in os.walk(top_abs):
             dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            rel_dir = os.path.relpath(dirpath, root)
+            if any(rel_dir == c or rel_dir.startswith(c + os.sep)
+                   for c in CORPUS_DIRS):
+                continue
             for name in sorted(filenames):
                 if name.endswith(CXX_EXTENSIONS):
                     yield os.path.relpath(os.path.join(dirpath, name), root)
@@ -199,9 +208,11 @@ def check_const_cast(root: str) -> List[Finding]:
 
 # wsnq::Rng construction/use or an include of util/rng.h. The `Rng` token
 # is matched as a whole word so FaultRng-style names can't slip through on
-# a substring technicality.
-FAULT_RNG_RE = re.compile(r"(?<![A-Za-z0-9_])Rng(?![A-Za-z0-9_])"
-                          r"|util/rng\.h")
+# a substring technicality. The include form is matched against the raw
+# line (minus trailing // comment): quoted include paths are string
+# literals, so the stripped text would never contain them.
+FAULT_RNG_RE = re.compile(r"(?<![A-Za-z0-9_])Rng(?![A-Za-z0-9_])")
+FAULT_RNG_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]util/rng\.h[>"]')
 
 
 def check_fault_rng(root: str) -> List[Finding]:
@@ -212,7 +223,8 @@ def check_fault_rng(root: str) -> List[Finding]:
         if not rel.startswith(fault_dir) or rel == keying_helper:
             continue
         for i, raw in enumerate(read_lines(root, rel), start=1):
-            if FAULT_RNG_RE.search(strip_comments_and_strings(raw)):
+            if (FAULT_RNG_RE.search(strip_comments_and_strings(raw))
+                    or FAULT_RNG_INCLUDE_RE.search(raw.split("//", 1)[0])):
                 findings.append(Finding(
                     rel, i, "fault-rng",
                     "fault decisions must go through the counter-based "

@@ -47,6 +47,7 @@
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "util/flags.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace {
@@ -242,6 +243,8 @@ int main(int argc, char** argv) {
                              config.collect_metrics);
     }
     if (trace::GlobalSink() != nullptr) {
+      // Single hand-rolled run on this thread; the fold phase holds.
+      ScopedSerialPhase fold_phase(FoldPhase());
       trace::GlobalSink()->Fold(trace_buffer);
     }
     if (!metrics_path.empty()) {
