@@ -13,7 +13,7 @@ int64_t ArqBackoffTicks(const ArqConfig& config, int attempt) {
   return config.base_timeout_ticks << exponent;
 }
 
-ArqOutcome RunStopAndWait(const ArqConfig& config, LinkLossProcess* links,
+ArqOutcome RunStopAndWait(const ArqConfig& config, FrameLossOracle* links,
                           int src, int dst, bool dst_down, int64_t* clock) {
   const int64_t start = *clock;
   const int attempts = config.enabled ? config.max_retx + 1 : 1;

@@ -51,7 +51,7 @@ struct ArqOutcome {
 /// the exchange is a single unacknowledged frame. `dst_down` models a
 /// crashed parent: every data frame is lost and no ack ever comes, so the
 /// sender burns its full retry budget — the cost tree repair avoids.
-ArqOutcome RunStopAndWait(const ArqConfig& config, LinkLossProcess* links,
+ArqOutcome RunStopAndWait(const ArqConfig& config, FrameLossOracle* links,
                           int src, int dst, bool dst_down, int64_t* clock);
 
 }  // namespace wsnq

@@ -1,0 +1,69 @@
+#include "fault/fault_cli.h"
+
+#include <string>
+
+namespace wsnq {
+
+Status ValidateFaultFlags(const FaultConfig& config,
+                          const FaultFlagPresence& present) {
+  if (config.loss < 0.0 || config.loss > 1.0) {
+    return Status::InvalidArgument("--loss must be in [0, 1], got " +
+                                   std::to_string(config.loss));
+  }
+  if (config.crash_nodes < 0) {
+    return Status::InvalidArgument("--crash-nodes must be >= 0, got " +
+                                   std::to_string(config.crash_nodes));
+  }
+  if ((present.crash_round || present.crash_len) && config.crash_nodes == 0) {
+    return Status::InvalidArgument(
+        present.crash_round
+            ? "--crash-round has no effect without --crash-nodes=N (N > 0)"
+            : "--crash-len has no effect without --crash-nodes=N (N > 0)");
+  }
+  if (present.no_repair && config.crash_nodes == 0) {
+    return Status::InvalidArgument(
+        "--no-repair has no effect without --crash-nodes=N (N > 0)");
+  }
+  if (present.crash_len && config.crash_len < 0) {
+    return Status::InvalidArgument("--crash-len must be >= 0, got " +
+                                   std::to_string(config.crash_len));
+  }
+  const bool ge = config.loss_model == LossModel::kGilbertElliott;
+  if (present.burst_len && !ge) {
+    return Status::InvalidArgument(
+        "--burst-len applies only to --loss-model=ge (the i.i.d. model has "
+        "no burst state)");
+  }
+  if (present.loss_model && ge && config.loss <= 0.0) {
+    return Status::InvalidArgument(
+        "--loss-model=ge has no effect without --loss=P (P > 0)");
+  }
+  if (ge && config.loss > 0.0 && config.loss < 1.0) {
+    if (config.burst_len < 1.0) {
+      return Status::InvalidArgument("--burst-len must be >= 1, got " +
+                                     std::to_string(config.burst_len));
+    }
+    // Gilbert–Elliott calibration solves good_to_bad =
+    // loss / ((1 - loss) * burst_len); it must be a probability, else the
+    // requested stationary loss rate is unreachable at this burst length.
+    const double good_to_bad =
+        config.loss / ((1.0 - config.loss) * config.burst_len);
+    if (good_to_bad > 1.0) {
+      return Status::InvalidArgument(
+          "infeasible Gilbert-Elliott calibration: stationary loss " +
+          std::to_string(config.loss) + " needs --burst-len >= " +
+          std::to_string(config.loss / (1.0 - config.loss)));
+    }
+  }
+  if (present.max_retx && !config.arq.enabled) {
+    return Status::InvalidArgument(
+        "--max-retx has no effect without --arq");
+  }
+  if (present.max_retx && config.arq.max_retx < 0) {
+    return Status::InvalidArgument("--max-retx must be >= 0, got " +
+                                   std::to_string(config.arq.max_retx));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsnq

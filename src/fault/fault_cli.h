@@ -1,0 +1,42 @@
+// Validation of the fault CLI flag surface. The parsers in tools/ and
+// bench/ map --loss/--crash-* flags straight onto FaultConfig; this module
+// rejects the combinations that used to be silently ignored (a crash
+// window with no crashed nodes, a burst length under i.i.d. loss) or that
+// would trip a WSNQ_CHECK deep inside the link models (an infeasible
+// Gilbert–Elliott calibration), so misconfigurations fail at flag-parse
+// time with an actionable message instead of producing a run that quietly
+// ignored half its flags.
+
+#ifndef WSNQ_FAULT_FAULT_CLI_H_
+#define WSNQ_FAULT_FAULT_CLI_H_
+
+#include "fault/fault_plan.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// Which fault flags the user actually typed (FlagParser::Has), as opposed
+/// to the defaults FaultConfig carries. Validation cares about presence:
+/// --crash-round=5 with no --crash-nodes is a user error even though the
+/// resulting config is harmless.
+struct FaultFlagPresence {
+  bool loss = false;
+  bool loss_model = false;
+  bool burst_len = false;
+  bool crash_nodes = false;
+  bool crash_round = false;
+  bool crash_len = false;
+  bool no_repair = false;
+  bool arq = false;
+  bool max_retx = false;
+};
+
+/// OK iff the parsed FaultConfig is internally consistent with the flags
+/// that were explicitly given. Every violation is an InvalidArgument whose
+/// message names the offending flags.
+Status ValidateFaultFlags(const FaultConfig& config,
+                          const FaultFlagPresence& present);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_FAULT_FAULT_CLI_H_

@@ -1,5 +1,9 @@
 #include "fault/fault_plan.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "fault/tree_repair.h"
 #include "util/check.h"
 #include "util/trace.h"
@@ -17,11 +21,31 @@ FaultPlan::FaultPlan(const FaultConfig& config, uint64_t seed, int64_t run,
              num_vertices),
       churn_(config.crash_nodes, config.crash_round, config.crash_len, seed,
              run, num_vertices, root) {
+  frame_oracle_ = &links_;
+  last_alive_.assign(static_cast<size_t>(num_vertices), 1);
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, uint64_t seed, int64_t run,
+                     int num_vertices, int root,
+                     std::unique_ptr<FrameLossOracle> scripted,
+                     const std::vector<int>& crash_victims)
+    : config_(config),
+      seed_(seed),
+      run_(run),
+      num_vertices_(num_vertices),
+      root_(root),
+      links_(config.loss_model, config.loss, config.burst_len, seed, run,
+             num_vertices),
+      scripted_(std::move(scripted)),
+      churn_(crash_victims, config.crash_round, config.crash_len,
+             num_vertices, root) {
+  WSNQ_CHECK(scripted_ != nullptr);
+  frame_oracle_ = scripted_.get();
   last_alive_.assign(static_cast<size_t>(num_vertices), 1);
 }
 
 void FaultPlan::OnReset() {
-  links_.Reset();
+  frame_oracle_->Reset();
   clock_ = 0;
   round_ = 0;
   last_alive_.assign(static_cast<size_t>(num_vertices_), 1);
@@ -83,7 +107,7 @@ void FaultPlan::OnRoundStart(int64_t round, Network* net) {
 
 TransportPolicy::UplinkOutcome FaultPlan::Uplink(int src, int dst) {
   WSNQ_DCHECK(!IsDown(src));  // the network gates crashed senders
-  const ArqOutcome arq = RunStopAndWait(config_.arq, &links_, src, dst,
+  const ArqOutcome arq = RunStopAndWait(config_.arq, frame_oracle_, src, dst,
                                         IsDown(dst), &clock_);
   WSNQ_DCHECK_LE(arq.data_frames - 1, config_.arq.max_retx);
   UplinkOutcome outcome;

@@ -10,6 +10,7 @@
 #define WSNQ_FAULT_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fault/arq.h"
@@ -56,11 +57,25 @@ class FaultPlan : public TransportPolicy {
   FaultPlan(const FaultConfig& config, uint64_t seed, int64_t run,
             int num_vertices, int root);
 
+  /// Scripted-mode plan for the model checker: frame-loss verdicts come
+  /// from `scripted` (owned — it must outlive every later OnReset on the
+  /// Network, so the plan keeps it) instead of the hashed LinkLossProcess,
+  /// and the crash victims are the explicit `crash_victims` rather than a
+  /// keyed draw. `config.crash_round`/`crash_len` still set the window.
+  FaultPlan(const FaultConfig& config, uint64_t seed, int64_t run,
+            int num_vertices, int root,
+            std::unique_ptr<FrameLossOracle> scripted,
+            const std::vector<int>& crash_victims);
+
   void OnRoundStart(int64_t round, Network* net) override;
   void OnReset() override;
   /// Faults are live, so delivery is never guaranteed (ARQ's retry budget
-  /// is bounded); protocols must keep their lossy-mode fallbacks on.
-  bool reliable() const override { return !config_.enabled(); }
+  /// is bounded); protocols must keep their lossy-mode fallbacks on. A
+  /// scripted plan is never "reliable" — its schedule drops frames even
+  /// though config_.loss is 0.
+  bool reliable() const override {
+    return scripted_ == nullptr && !config_.enabled();
+  }
   bool IsDown(int v) const override;
   int64_t AckPayloadBits() const override {
     return config_.arq.ack_payload_bits;
@@ -77,6 +92,10 @@ class FaultPlan : public TransportPolicy {
   int num_vertices_;
   int root_;
   LinkLossProcess links_;
+  /// Non-null in scripted (model-checking) mode; then frame_oracle_ points
+  /// here instead of at links_.
+  std::unique_ptr<FrameLossOracle> scripted_;
+  FrameLossOracle* frame_oracle_ = nullptr;
   NodeChurn churn_;
   int64_t round_ = 0;
   int64_t clock_ = 0;

@@ -32,26 +32,44 @@ enum class LossModel {
   kGilbertElliott,  ///< bursty two-state Markov loss per directed channel
 };
 
+/// The frame-loss decision seam the ARQ state machine runs against. The
+/// production implementation is LinkLossProcess (counter-keyed random
+/// loss); src/fault/scripted_oracle.h substitutes an explicit schedule so
+/// the model checker (src/mc/) can enumerate fault spaces through the
+/// identical RunStopAndWait / FaultPlan code path instead of sampling it.
+class FrameLossOracle {
+ public:
+  virtual ~FrameLossOracle() = default;
+
+  /// Loss verdict for one frame at logical time `tick` on the directed
+  /// channel src -> dst; `downlink` selects the reverse (ack) channel.
+  /// Ticks are non-decreasing per channel (the ARQ clock guarantees it).
+  virtual bool FrameLost(int src, int dst, int64_t tick, bool downlink) = 0;
+
+  /// Rewinds to the pre-first-frame state (protocol replay support).
+  virtual void Reset() = 0;
+};
+
 /// The loss processes for every directed tree channel of one run.
 /// Deterministic: the loss verdict for a frame depends only on
 /// (seed, run, tick, src, dst, direction) — never on draw order across
 /// links, runs, or threads. Reset() rewinds to the initial state so
 /// protocol replays over one Network observe the identical fault
 /// sequence.
-class LinkLossProcess {
+class LinkLossProcess final : public FrameLossOracle {
  public:
   /// `loss` in [0, 1]; `burst_len` >= 1 (Gilbert–Elliott only).
   LinkLossProcess(LossModel model, double loss, double burst_len,
                   uint64_t seed, int64_t run, int num_vertices);
 
   /// Rewinds every chain to its pre-first-frame state (replay support).
-  void Reset();
+  void Reset() override;
 
   /// Loss verdict for one frame at logical time `tick` on the directed
   /// channel src -> dst. `downlink` selects the reverse (ack) channel; the
   /// chain owner is the child endpoint (src for uplink, dst for downlink).
   /// Ticks must be non-decreasing per chain — the ARQ clock guarantees it.
-  bool FrameLost(int src, int dst, int64_t tick, bool downlink);
+  bool FrameLost(int src, int dst, int64_t tick, bool downlink) override;
 
   double loss() const { return loss_; }
   LossModel model() const { return model_; }

@@ -44,6 +44,24 @@ NodeChurn::NodeChurn(int crash_nodes, int64_t crash_round, int64_t crash_len,
   std::sort(victims_.begin(), victims_.end());
 }
 
+NodeChurn::NodeChurn(const std::vector<int>& victims, int64_t crash_round,
+                     int64_t crash_len, int num_vertices, int root) {
+  WSNQ_CHECK_GE(num_vertices, 1);
+  crash_round_ = crash_round;
+  recover_round_ = crash_len <= 0 ? std::numeric_limits<int64_t>::max()
+                                  : crash_round + crash_len;
+  is_victim_.assign(static_cast<size_t>(num_vertices), 0);
+  victims_ = victims;
+  std::sort(victims_.begin(), victims_.end());
+  for (int v : victims_) {
+    WSNQ_CHECK_GE(v, 0);
+    WSNQ_CHECK_LT(v, num_vertices);
+    WSNQ_CHECK_NE(v, root);
+    WSNQ_CHECK_EQ(is_victim_[static_cast<size_t>(v)], 0);
+    is_victim_[static_cast<size_t>(v)] = 1;
+  }
+}
+
 bool NodeChurn::IsDown(int v, int64_t round) const {
   return is_victim_[static_cast<size_t>(v)] != 0 && round >= crash_round_ &&
          round < recover_round_;

@@ -22,6 +22,12 @@ class NodeChurn {
   NodeChurn(int crash_nodes, int64_t crash_round, int64_t crash_len,
             uint64_t seed, int64_t run, int num_vertices, int root);
 
+  /// Crashes exactly `victims` (explicit schedule — the model checker's
+  /// enumerated crash specs) from `crash_round` for `crash_len` rounds.
+  /// Victims must be distinct non-root vertex ids.
+  NodeChurn(const std::vector<int>& victims, int64_t crash_round,
+            int64_t crash_len, int num_vertices, int root);
+
   bool IsDown(int v, int64_t round) const;
 
   /// True when the liveness of some vertex differs between `round - 1` and

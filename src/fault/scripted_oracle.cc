@@ -1,0 +1,60 @@
+#include "fault/scripted_oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault_key.h"
+#include "util/check.h"
+
+namespace wsnq {
+
+ScriptedFaultOracle::ScriptedFaultOracle(std::vector<int64_t> drop_ordinals)
+    : drops_(std::move(drop_ordinals)) {
+  std::sort(drops_.begin(), drops_.end());
+  drops_.erase(std::unique(drops_.begin(), drops_.end()), drops_.end());
+  for (int64_t d : drops_) WSNQ_CHECK_GE(d, 0);
+}
+
+bool ScriptedFaultOracle::FrameLost(int src, int dst, int64_t tick,
+                                    bool downlink) {
+  // Acks ride the schedule-free downlink: with scripted faults the only
+  // adversary moves are uplink data drops, so the ARQ delivery theorem
+  // (max_retx >= budget => delivered) holds exactly.
+  if (downlink) return false;
+  const int64_t ordinal = next_ordinal_++;
+  while (next_drop_ < drops_.size() && drops_[next_drop_] < ordinal)
+    ++next_drop_;
+  const bool dropped =
+      next_drop_ < drops_.size() && drops_[next_drop_] == ordinal;
+  if (dropped) {
+    ++next_drop_;
+    ++applied_drops_;
+  }
+  ScriptedFrame frame;
+  frame.ordinal = ordinal;
+  frame.tick = tick;
+  frame.src = src;
+  frame.dst = dst;
+  frame.dropped = dropped;
+  trace_.push_back(frame);
+  // Fold every field through SplitMix64 so single-field differences
+  // avalanche into the fingerprint.
+  uint64_t h = trace_hash_;
+  h = FaultMix(h ^ static_cast<uint64_t>(ordinal));
+  h = FaultMix(h ^ static_cast<uint64_t>(tick));
+  h = FaultMix(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32 |
+                    static_cast<uint64_t>(static_cast<uint32_t>(dst))));
+  h = FaultMix(h ^ (dropped ? 0x9e3779b97f4a7c15ULL : 0));
+  trace_hash_ = h;
+  return dropped;
+}
+
+void ScriptedFaultOracle::Reset() {
+  next_drop_ = 0;
+  next_ordinal_ = 0;
+  applied_drops_ = 0;
+  trace_.clear();
+  trace_hash_ = 0;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,69 @@
+// Scripted frame-loss oracle: the model checker's side of the
+// FrameLossOracle seam. Instead of hashing (seed, tick, src, dst) like
+// LinkLossProcess, it consults an explicit schedule — a sorted list of
+// uplink-data-frame *ordinals* (the global send-order index of data frames
+// put on the air) that must be dropped. Acks and downlink frames are never
+// dropped and never consume an ordinal, which makes delivery under ARQ a
+// provable certainty whenever max_retx >= the drop budget: every
+// retransmission consumes at least one scheduled drop or gets through.
+//
+// The oracle also records the full frame trace (ordinal, tick, src, dst,
+// dropped) and folds it into a rolling hash so the model checker can
+// fingerprint reached states and detect which scheduled drops were actually
+// reachable (a frame never sent cannot be dropped — the canonicalization
+// argument in docs/robustness.md "Model checking").
+
+#ifndef WSNQ_FAULT_SCRIPTED_ORACLE_H_
+#define WSNQ_FAULT_SCRIPTED_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/link_models.h"
+
+namespace wsnq {
+
+/// One uplink data frame the oracle saw, in send order.
+struct ScriptedFrame {
+  int64_t ordinal = 0;  ///< global data-frame send index, 0-based
+  int64_t tick = 0;     ///< logical clock when the frame hit the air
+  int src = -1;
+  int dst = -1;
+  bool dropped = false;
+};
+
+/// Drops exactly the uplink data frames whose send ordinals appear in the
+/// schedule; everything else (later data frames, all acks) is delivered.
+class ScriptedFaultOracle final : public FrameLossOracle {
+ public:
+  /// `drop_ordinals` need not be sorted or deduplicated; the oracle
+  /// canonicalizes. Ordinals beyond the frames actually sent are simply
+  /// never reached (applied_drops() reports how many fired).
+  explicit ScriptedFaultOracle(std::vector<int64_t> drop_ordinals);
+
+  bool FrameLost(int src, int dst, int64_t tick, bool downlink) override;
+  void Reset() override;
+
+  /// Uplink data frames put on the air so far.
+  int64_t frames_sent() const { return next_ordinal_; }
+  /// Scheduled drops that hit a frame actually sent.
+  int applied_drops() const { return applied_drops_; }
+  const std::vector<int64_t>& drops() const { return drops_; }
+  const std::vector<ScriptedFrame>& trace() const { return trace_; }
+  /// Rolling SplitMix64 fold over the frame trace; equal traces hash
+  /// equal, so this keys the reached-state fingerprint.
+  uint64_t trace_hash() const { return trace_hash_; }
+
+ private:
+  std::vector<int64_t> drops_;  ///< sorted, deduplicated
+  size_t next_drop_ = 0;        ///< first schedule entry not yet passed
+  int64_t next_ordinal_ = 0;
+  int applied_drops_ = 0;
+  std::vector<ScriptedFrame> trace_;
+  uint64_t trace_hash_ = 0;
+};
+
+}  // namespace wsnq
+
+#endif  // WSNQ_FAULT_SCRIPTED_ORACLE_H_

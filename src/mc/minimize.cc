@@ -1,0 +1,98 @@
+#include "mc/minimize.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace {
+
+/// Does `schedule` still violate the same invariant? On success, updates
+/// `*witness` with the fresh violation (round/detail may shift as the
+/// schedule shrinks).
+bool StillFails(McContext* context, const McOptions& options,
+                const std::string& invariant, AlgorithmKind algo,
+                const FaultSchedule& schedule, McViolation* witness) {
+  const ScheduleResult result =
+      RunSchedule(context, options, algo, schedule);
+  if (!result.violated || result.violation.invariant != invariant) {
+    return false;
+  }
+  *witness = result.violation;
+  return true;
+}
+
+}  // namespace
+
+McViolation MinimizeViolation(McContext* context, const McOptions& options,
+                              const McViolation& violation) {
+  McViolation best = violation;
+  const std::string& invariant = violation.invariant;
+  const AlgorithmKind algo = violation.algo;
+
+  // The seed must reproduce, else there is nothing to minimize against.
+  {
+    McViolation witness;
+    WSNQ_CHECK(StillFails(context, options, invariant, algo,
+                          violation.schedule, &witness));
+    best = witness;
+  }
+
+  // 1. Drop the crash entirely if the failure survives without it.
+  if (!best.schedule.crash.none()) {
+    FaultSchedule candidate = best.schedule;
+    candidate.crash = McCrashSpec{};
+    McViolation witness;
+    if (StillFails(context, options, invariant, algo, candidate, &witness)) {
+      best = witness;
+    }
+  }
+  // 2. Shrink the crash window to the shortest still-failing length.
+  if (!best.schedule.crash.none() && best.schedule.crash.crash_len > 1) {
+    for (int64_t len = 1; len < best.schedule.crash.crash_len; ++len) {
+      FaultSchedule candidate = best.schedule;
+      candidate.crash.crash_len = len;
+      McViolation witness;
+      if (StillFails(context, options, invariant, algo, candidate,
+                     &witness)) {
+        best = witness;
+        break;
+      }
+    }
+  }
+
+  // 3. ddmin over the drop set: try chunk removals at growing granularity,
+  // then single drops, restarting whenever a removal sticks; terminates at
+  // a 1-minimal drop set.
+  bool shrunk = true;
+  while (shrunk && !best.schedule.drops.empty()) {
+    shrunk = false;
+    const std::vector<int64_t>& drops = best.schedule.drops;
+    const size_t n = drops.size();
+    // Chunks of half, then singles (for the <= 3-drop schedules the MC
+    // produces, these two granularities are the whole ddmin ladder).
+    for (size_t chunk = n > 1 ? (n + 1) / 2 : 1; chunk >= 1; chunk /= 2) {
+      for (size_t start = 0; start < n; start += chunk) {
+        FaultSchedule candidate = best.schedule;
+        const size_t end = std::min(n, start + chunk);
+        candidate.drops.erase(
+            candidate.drops.begin() + static_cast<int64_t>(start),
+            candidate.drops.begin() + static_cast<int64_t>(end));
+        McViolation witness;
+        if (StillFails(context, options, invariant, algo, candidate,
+                       &witness)) {
+          best = witness;
+          shrunk = true;
+          break;
+        }
+      }
+      if (shrunk || chunk == 1) break;
+    }
+  }
+
+  return best;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,25 @@
+// Delta-debugging minimization of a failing fault schedule: greedily
+// removes the crash, shrinks its window, and ddmin-reduces the drop set
+// while the same invariant keeps failing, converging to a 1-minimal
+// counterexample (no single component can be removed without losing the
+// failure). Every candidate is re-executed through the full runner, so the
+// minimized schedule is a genuine repro, not a projection.
+
+#ifndef WSNQ_MC_MINIMIZE_H_
+#define WSNQ_MC_MINIMIZE_H_
+
+#include "mc/mc.h"
+#include "mc/runner.h"
+
+namespace wsnq {
+
+/// Minimizes `violation`'s schedule; `context` is reused for every probe
+/// run (exclusive ownership). Returns the minimal schedule together with
+/// the detail string of its violation. The returned schedule always still
+/// violates `violation.invariant`.
+McViolation MinimizeViolation(McContext* context, const McOptions& options,
+                              const McViolation& violation);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_MC_MINIMIZE_H_

@@ -1,0 +1,41 @@
+// Top-level model-checking session: enumerate the bounded space, minimize
+// every reported violation to a JSON-serializable repro, and render the
+// exploration statistics. tools/wsnq_mc.cc is a thin CLI over these three
+// calls; tests/mc_regression_test.cc replays archived repros through
+// ReplayRepro.
+
+#ifndef WSNQ_MC_MODEL_CHECK_H_
+#define WSNQ_MC_MODEL_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "mc/mc.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// Everything one session produced.
+struct McReport {
+  McStats stats;
+  /// Minimized counterexamples, deterministic order; empty on a clean
+  /// sweep.
+  std::vector<McRepro> repros;
+};
+
+/// Runs the full bounded exploration and minimizes every violation.
+StatusOr<McReport> RunModelCheck(const McOptions& options);
+
+/// Re-executes an archived repro's schedule under its recorded options.
+/// The regression suite expects the result to be violation-free (the bug
+/// the repro once minimized is fixed); a red result names the regressed
+/// invariant.
+StatusOr<ScheduleResult> ReplayRepro(const McRepro& repro);
+
+/// Flat JSON rendering of the exploration statistics (stable key order),
+/// for the CI nightly's uploaded artifact.
+std::string StatsToJson(const McOptions& options, const McStats& stats);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_MC_MODEL_CHECK_H_

@@ -1,0 +1,44 @@
+// Executes one fault schedule through the production stack and checks the
+// reliability invariants round by round. The runner owns no shortcut
+// simulation: it builds a normal Scenario (fault-free config, so
+// BuildScenario installs no policy), installs a scripted FaultPlan as the
+// Network's transport policy, and drives the protocol exactly like
+// core/simulation.cc does — so whatever the model checker proves holds
+// for the code paths the experiments run.
+
+#ifndef WSNQ_MC_RUNNER_H_
+#define WSNQ_MC_RUNNER_H_
+
+#include "core/config.h"
+#include "core/scenario.h"
+#include "mc/mc.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// A reusable execution context: one scenario (topology + materialized
+/// value rows) that many schedules run over sequentially. Each worker task
+/// owns its McContext exclusively — Scenario is not thread-safe.
+struct McContext {
+  SimulationConfig config;
+  Scenario scenario;
+};
+
+/// Maps McOptions onto a SimulationConfig (synthetic dataset, fault
+/// injection off — the runner installs its own scripted plan).
+SimulationConfig McSimulationConfig(const McOptions& options);
+
+/// Builds the scenario every schedule of this session replays over;
+/// fails when the placement cannot be connected at the given radio range.
+StatusOr<McContext> BuildMcContext(const McOptions& options);
+
+/// Runs `schedule` for `algo` over the context's scenario and checks every
+/// invariant each round. Always runs all rounds (so frames_sent describes
+/// the complete run even on a violation); only the first violation is
+/// reported.
+ScheduleResult RunSchedule(McContext* context, const McOptions& options,
+                           AlgorithmKind algo, const FaultSchedule& schedule);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_MC_RUNNER_H_

@@ -1,0 +1,361 @@
+#include "mc/schedule.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wsnq {
+
+int64_t SaturatingAdd(int64_t x, int64_t y) {
+  WSNQ_DCHECK_GE(x, 0);
+  WSNQ_DCHECK_GE(y, 0);
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (x > kMax - y) return kMax;
+  return x + y;
+}
+
+int64_t SaturatingBinomial(int64_t n, int64_t k) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (k < 0 || n < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  int64_t result = 1;
+  // result *= (n - k + i) / i stays integral at every step because any i
+  // consecutive integers contain a multiple of every j <= i.
+  for (int64_t i = 1; i <= k; ++i) {
+    const int64_t factor = n - k + i;
+    if (result > kMax / factor) return kMax;
+    result = result * factor / i;
+  }
+  return result;
+}
+
+int64_t NaiveScheduleCount(int64_t frames, int max_drops) {
+  int64_t total = 0;
+  for (int j = 0; j <= max_drops; ++j) {
+    total = SaturatingAdd(total, SaturatingBinomial(frames, j));
+  }
+  return total;
+}
+
+std::string ScheduleToString(const FaultSchedule& schedule) {
+  std::string out = "drops=[";
+  for (size_t i = 0; i < schedule.drops.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(schedule.drops[i]);
+  }
+  out += "] crash=";
+  if (schedule.crash.none()) {
+    out += "none";
+  } else {
+    out += "v" + std::to_string(schedule.crash.victim) + "@" +
+           std::to_string(schedule.crash.crash_round) + "+" +
+           std::to_string(schedule.crash.crash_len);
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string DoubleLiteral(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal parser for the flat repro objects ReproToJson emits: one level
+/// of "key": value pairs where a value is a string, a number, a bool, or
+/// an array of integers. No nesting, no escapes beyond \" \\ \n.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse() {
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after key " + key);
+      status = ParseValue(key);
+      if (!status.ok()) return status;
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' after value of " + key);
+    }
+  }
+
+  bool HasString(const std::string& key) const {
+    for (const auto& kv : strings_)
+      if (kv.first == key) return true;
+    return false;
+  }
+  std::string GetString(const std::string& key) const {
+    for (const auto& kv : strings_)
+      if (kv.first == key) return kv.second;
+    return "";
+  }
+  bool HasNumber(const std::string& key) const {
+    for (const auto& kv : numbers_)
+      if (kv.first == key) return true;
+    return false;
+  }
+  double GetNumber(const std::string& key) const {
+    for (const auto& kv : numbers_)
+      if (kv.first == key) return kv.second;
+    return 0.0;
+  }
+  bool HasArray(const std::string& key) const {
+    for (const auto& kv : arrays_)
+      if (kv.first == key) return true;
+    return false;
+  }
+  std::vector<int64_t> GetArray(const std::string& key) const {
+    for (const auto& kv : arrays_)
+      if (kv.first == key) return kv.second;
+    return {};
+  }
+  /// Every key seen, in document order (for unknown-key rejection).
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("repro JSON: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    SkipSpace();
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char escaped = text_[pos_++];
+        c = escaped == 'n' ? '\n' : escaped;
+      }
+      *out += c;
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    return Status::Ok();
+  }
+
+  Status ParseNumber(double* out) {
+    SkipSpace();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return Error("expected a number");
+    pos_ += static_cast<size_t>(end - start);
+    return Status::Ok();
+  }
+
+  Status ParseValue(const std::string& key) {
+    SkipSpace();
+    keys_.push_back(key);
+    if (pos_ >= text_.size()) return Error("truncated value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string s;
+      Status status = ParseString(&s);
+      if (!status.ok()) return status;
+      strings_.emplace_back(key, s);
+      return Status::Ok();
+    }
+    if (c == '[') {
+      ++pos_;
+      std::vector<int64_t> items;
+      SkipSpace();
+      if (!Consume(']')) {
+        while (true) {
+          double v = 0.0;
+          Status status = ParseNumber(&v);
+          if (!status.ok()) return status;
+          items.push_back(static_cast<int64_t>(v));
+          SkipSpace();
+          if (Consume(',')) continue;
+          if (Consume(']')) break;
+          return Error("expected ',' or ']' in array " + key);
+        }
+      }
+      arrays_.emplace_back(key, items);
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      numbers_.emplace_back(key, 1.0);
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      numbers_.emplace_back(key, 0.0);
+      return Status::Ok();
+    }
+    double v = 0.0;
+    Status status = ParseNumber(&v);
+    if (!status.ok()) return status;
+    numbers_.emplace_back(key, v);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::vector<int64_t>>> arrays_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace
+
+std::string ReproToJson(const McRepro& repro) {
+  std::string out = "{\n";
+  out += "  \"invariant\": \"" + JsonEscape(repro.invariant) + "\",\n";
+  out += std::string("  \"algo\": \"") + AlgorithmName(repro.algo) + "\",\n";
+  out += "  \"nodes\": " + std::to_string(repro.options.nodes) + ",\n";
+  out += "  \"radio\": " + DoubleLiteral(repro.options.radio_range) + ",\n";
+  out += "  \"rounds\": " + std::to_string(repro.options.rounds) + ",\n";
+  out += "  \"seed\": " + std::to_string(repro.options.seed) + ",\n";
+  out += "  \"phi\": " + DoubleLiteral(repro.options.phi) + ",\n";
+  out += "  \"period\": " + DoubleLiteral(repro.options.period_rounds) +
+         ",\n";
+  out += "  \"noise\": " + DoubleLiteral(repro.options.noise_percent) +
+         ",\n";
+  out += std::string("  \"arq\": ") + (repro.options.arq ? "true" : "false") +
+         ",\n";
+  out += "  \"max_retx\": " + std::to_string(repro.options.max_retx) + ",\n";
+  out += "  \"drops\": [";
+  for (size_t i = 0; i < repro.schedule.drops.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(repro.schedule.drops[i]);
+  }
+  out += "],\n";
+  out += "  \"crash_victim\": " + std::to_string(repro.schedule.crash.victim) +
+         ",\n";
+  out += "  \"crash_round\": " +
+         std::to_string(repro.schedule.crash.crash_round) + ",\n";
+  out += "  \"crash_len\": " + std::to_string(repro.schedule.crash.crash_len) +
+         ",\n";
+  out += "  \"detail\": \"" + JsonEscape(repro.detail) + "\"\n";
+  out += "}\n";
+  return out;
+}
+
+StatusOr<McRepro> ReproFromJson(const std::string& json) {
+  FlatJsonParser parser(json);
+  Status status = parser.Parse();
+  if (!status.ok()) return status;
+
+  static const char* const kKnownKeys[] = {
+      "invariant", "algo",   "nodes",        "radio",       "rounds",
+      "seed",      "phi",    "period",       "noise",       "arq",
+      "max_retx",  "drops",  "crash_victim", "crash_round", "crash_len",
+      "detail"};
+  for (const std::string& key : parser.keys()) {
+    bool known = false;
+    for (const char* candidate : kKnownKeys) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("repro JSON: unknown key \"" + key +
+                                     "\"");
+    }
+  }
+
+  McRepro repro;
+  repro.invariant = parser.GetString("invariant");
+  if (parser.HasString("algo")) {
+    auto kind = ParseAlgorithmName(parser.GetString("algo").c_str());
+    if (!kind.ok()) return kind.status();
+    repro.algo = kind.value();
+  }
+  if (parser.HasNumber("nodes")) {
+    repro.options.nodes = static_cast<int>(parser.GetNumber("nodes"));
+  }
+  if (parser.HasNumber("radio")) {
+    repro.options.radio_range = parser.GetNumber("radio");
+  }
+  if (parser.HasNumber("rounds")) {
+    repro.options.rounds = static_cast<int>(parser.GetNumber("rounds"));
+  }
+  if (parser.HasNumber("seed")) {
+    repro.options.seed = static_cast<uint64_t>(parser.GetNumber("seed"));
+  }
+  if (parser.HasNumber("phi")) repro.options.phi = parser.GetNumber("phi");
+  if (parser.HasNumber("period")) {
+    repro.options.period_rounds = parser.GetNumber("period");
+  }
+  if (parser.HasNumber("noise")) {
+    repro.options.noise_percent = parser.GetNumber("noise");
+  }
+  if (parser.HasNumber("arq")) {
+    repro.options.arq = parser.GetNumber("arq") != 0.0;
+  }
+  if (parser.HasNumber("max_retx")) {
+    repro.options.max_retx = static_cast<int>(parser.GetNumber("max_retx"));
+  }
+  repro.schedule.drops = parser.GetArray("drops");
+  if (parser.HasNumber("crash_victim")) {
+    repro.schedule.crash.victim =
+        static_cast<int>(parser.GetNumber("crash_victim"));
+  }
+  if (parser.HasNumber("crash_round")) {
+    repro.schedule.crash.crash_round =
+        static_cast<int64_t>(parser.GetNumber("crash_round"));
+  }
+  if (parser.HasNumber("crash_len")) {
+    repro.schedule.crash.crash_len =
+        static_cast<int64_t>(parser.GetNumber("crash_len"));
+  }
+  repro.detail = parser.GetString("detail");
+  return repro;
+}
+
+}  // namespace wsnq

@@ -1,0 +1,45 @@
+// Schedule-space arithmetic and the JSON repro format.
+//
+// The pruning report compares the canonical (reachability-pruned) schedule
+// count against the naive mask space sum_{j=0..D} C(F_cap, j), where F_cap
+// is the largest frame count any explored schedule produced in that
+// subspace; the binomial sums saturate at INT64_MAX so huge naive spaces
+// report cleanly. Repros are flat JSON objects (one scalar or int-array
+// per key) written and parsed here without any external JSON dependency.
+
+#ifndef WSNQ_MC_SCHEDULE_H_
+#define WSNQ_MC_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mc/mc.h"
+#include "util/status.h"
+
+namespace wsnq {
+
+/// x + y, saturating at INT64_MAX (inputs must be non-negative).
+int64_t SaturatingAdd(int64_t x, int64_t y);
+
+/// C(n, k), saturating at INT64_MAX.
+int64_t SaturatingBinomial(int64_t n, int64_t k);
+
+/// sum_{j=0..max_drops} C(frames, j), saturating — the naive drop-mask
+/// count of one subspace.
+int64_t NaiveScheduleCount(int64_t frames, int max_drops);
+
+/// Compact human-readable form, e.g. "drops=[3,17] crash=v4@2+1" or
+/// "drops=[] crash=none".
+std::string ScheduleToString(const FaultSchedule& schedule);
+
+/// Serializes `repro` as a flat JSON object (stable key order, one key per
+/// line) suitable for committing under tests/mc_regressions/.
+std::string ReproToJson(const McRepro& repro);
+
+/// Parses ReproToJson output (or a hand-written repro in the same flat
+/// format). Unknown keys are errors, missing keys keep McRepro defaults.
+StatusOr<McRepro> ReproFromJson(const std::string& json);
+
+}  // namespace wsnq
+
+#endif  // WSNQ_MC_SCHEDULE_H_

@@ -14,10 +14,12 @@
 #include <gtest/gtest.h>
 
 #include "fault/arq.h"
+#include "fault/fault_cli.h"
 #include "fault/fault_key.h"
 #include "fault/fault_plan.h"
 #include "fault/link_models.h"
 #include "fault/node_churn.h"
+#include "fault/scripted_oracle.h"
 #include "fault/tree_repair.h"
 #include "net/network.h"
 #include "net/spanning_tree.h"
@@ -463,6 +465,223 @@ TEST(FaultPlanTest, CrashWindowTogglesIsDown) {
     down_at_round.push_back(down);
   }
   EXPECT_EQ(down_at_round, (std::vector<int>{0, 2, 2, 0, 0}));
+}
+
+// --- fault_key.h statistical contracts -------------------------------------
+
+// Two FaultStream salts must yield independent streams: over many keys the
+// verdicts of Bernoulli(1/2) draws under different salts agree about half
+// the time. Perfect correlation (or anti-correlation) would mean uplink and
+// ack losses fire together, which the ARQ analysis assumes they do not.
+TEST(FaultKeyTest, StreamsWithDifferentSaltsAreIndependent) {
+  const FaultStream streams[] = {
+      FaultStream::kUplinkData, FaultStream::kDownlinkAck,
+      FaultStream::kGilbertStep, FaultStream::kChurn};
+  const int kDraws = 20000;
+  for (size_t a = 0; a < std::size(streams); ++a) {
+    for (size_t b = a + 1; b < std::size(streams); ++b) {
+      int agree = 0;
+      for (int i = 0; i < kDraws; ++i) {
+        FaultKey key;
+        key.seed = 11;
+        key.round = i;
+        key.src = i % 7;
+        key.dst = (i / 7) % 7;
+        key.salt = streams[a];
+        const bool va = FaultBernoulli(key, 0.5);
+        key.salt = streams[b];
+        const bool vb = FaultBernoulli(key, 0.5);
+        agree += (va == vb) ? 1 : 0;
+      }
+      // Binomial(20000, 1/2): +-5 sigma is about +-354.
+      EXPECT_NEAR(agree, kDraws / 2, 400)
+          << "salts " << static_cast<uint32_t>(streams[a]) << " and "
+          << static_cast<uint32_t>(streams[b]);
+    }
+  }
+}
+
+// Avalanche quality: flipping any single bit of any key field must flip
+// every output bit with probability ~1/2. Chi-square over the 64 output
+// bit positions, aggregated across many (key, flipped-bit) pairs: each
+// position's flip count is Binomial(trials, 1/2), so the normalized
+// deviation sum is ~chi^2 with 64 degrees of freedom (mean 64, and
+// P[> 120] is below 1e-5 — deterministic keys, so no flake).
+TEST(FaultKeyTest, SingleBitFlipsAvalancheAcrossAllOutputBits) {
+  struct FieldCase {
+    const char* name;
+    int bits;  ///< low bits of the field worth flipping
+  };
+  const FieldCase kFields[] = {
+      {"seed", 32}, {"run", 16}, {"round", 16}, {"src", 8}, {"dst", 8},
+      {"nonce", 16}};
+
+  for (const FieldCase& field : kFields) {
+    int64_t flips[64] = {0};
+    int64_t trials = 0;
+    for (int base = 0; base < 64; ++base) {
+      FaultKey key;
+      key.seed = 1000 + static_cast<uint64_t>(base);
+      key.run = base;
+      key.round = 31 * base;
+      key.src = base % 9;
+      key.dst = (base + 3) % 9;
+      const uint64_t h0 = FaultBits(key);
+      for (int bit = 0; bit < field.bits; ++bit) {
+        FaultKey flipped = key;
+        const uint64_t mask = 1ULL << bit;
+        if (field.name[0] == 's' && field.name[1] == 'e') {
+          flipped.seed ^= mask;
+        } else if (field.name[0] == 'r' && field.name[1] == 'u') {
+          flipped.run ^= static_cast<int64_t>(mask);
+        } else if (field.name[0] == 'r') {
+          flipped.round ^= static_cast<int64_t>(mask);
+        } else if (field.name[0] == 's') {
+          flipped.src ^= static_cast<int32_t>(mask);
+        } else if (field.name[0] == 'd') {
+          flipped.dst ^= static_cast<int32_t>(mask);
+        } else {
+          flipped.nonce ^= mask;
+        }
+        uint64_t diff = h0 ^ FaultBits(flipped);
+        ++trials;
+        for (int out = 0; out < 64; ++out) {
+          flips[out] += (diff >> out) & 1u;
+        }
+      }
+    }
+    const double expected = static_cast<double>(trials) / 2.0;
+    double chi2 = 0.0;
+    for (int out = 0; out < 64; ++out) {
+      const double d = static_cast<double>(flips[out]) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 120.0) << "weak avalanche in field " << field.name;
+    EXPECT_GT(chi2, 20.0) << "suspiciously uniform field " << field.name;
+  }
+}
+
+// --- scripted_oracle.h -----------------------------------------------------
+
+TEST(ScriptedOracleTest, DropsExactlyTheScheduledOrdinals) {
+  ScriptedFaultOracle oracle({1, 3});
+  // Ordinals count uplink data frames only; acks (downlink) are free.
+  EXPECT_FALSE(oracle.FrameLost(1, 0, 10, /*downlink=*/false));  // ordinal 0
+  EXPECT_FALSE(oracle.FrameLost(1, 0, 11, /*downlink=*/true));   // ack
+  EXPECT_TRUE(oracle.FrameLost(2, 0, 12, /*downlink=*/false));   // ordinal 1
+  EXPECT_FALSE(oracle.FrameLost(2, 0, 13, /*downlink=*/false));  // ordinal 2
+  EXPECT_TRUE(oracle.FrameLost(3, 0, 14, /*downlink=*/false));   // ordinal 3
+  EXPECT_EQ(oracle.frames_sent(), 4);
+  EXPECT_EQ(oracle.applied_drops(), 2);
+  EXPECT_EQ(oracle.trace().size(), 4u);
+}
+
+TEST(ScriptedOracleTest, ResetReplaysTheSameVerdictsAndHash) {
+  ScriptedFaultOracle oracle({0, 2});
+  std::vector<bool> first;
+  for (int i = 0; i < 5; ++i) {
+    first.push_back(oracle.FrameLost(1, 0, i, false));
+  }
+  const uint64_t hash = oracle.trace_hash();
+  oracle.Reset();
+  EXPECT_EQ(oracle.frames_sent(), 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(oracle.FrameLost(1, 0, i, false), first[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(oracle.trace_hash(), hash);
+}
+
+TEST(ScriptedOracleTest, UnsortedScheduleIsCanonicalized) {
+  ScriptedFaultOracle oracle({3, 1, 3});
+  EXPECT_EQ(oracle.drops(), (std::vector<int64_t>{1, 3}));
+}
+
+// --- fault_cli.h -----------------------------------------------------------
+
+FaultFlagPresence NoFlags() { return FaultFlagPresence{}; }
+
+TEST(ValidateFaultFlagsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateFaultFlags(FaultConfig{}, NoFlags()).ok());
+}
+
+TEST(ValidateFaultFlagsTest, CrashKnobsRequireCrashNodes) {
+  FaultConfig config;
+  FaultFlagPresence present = NoFlags();
+  present.crash_round = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+  present = NoFlags();
+  present.crash_len = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+  present = NoFlags();
+  present.no_repair = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+
+  // With --crash-nodes they are all fine.
+  config.crash_nodes = 2;
+  present.crash_round = true;
+  present.crash_len = true;
+  present.crash_nodes = true;
+  EXPECT_TRUE(ValidateFaultFlags(config, present).ok());
+}
+
+TEST(ValidateFaultFlagsTest, BurstLenRequiresGilbertElliott) {
+  FaultConfig config;
+  config.loss = 0.1;
+  FaultFlagPresence present = NoFlags();
+  present.loss = true;
+  present.burst_len = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+
+  config.loss_model = LossModel::kGilbertElliott;
+  present.loss_model = true;
+  EXPECT_TRUE(ValidateFaultFlags(config, present).ok());
+}
+
+TEST(ValidateFaultFlagsTest, InfeasibleGilbertElliottCalibrationIsAnError) {
+  FaultConfig config;
+  config.loss_model = LossModel::kGilbertElliott;
+  config.loss = 0.9;
+  config.burst_len = 2.0;  // needs burst_len >= 0.9 / 0.1 = 9
+  FaultFlagPresence present = NoFlags();
+  present.loss = true;
+  present.loss_model = true;
+  present.burst_len = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+
+  config.burst_len = 10.0;  // comfortably above the 0.9 / 0.1 = 9 floor
+  EXPECT_TRUE(ValidateFaultFlags(config, present).ok());
+}
+
+TEST(ValidateFaultFlagsTest, RangeErrorsAreRejected) {
+  FaultConfig config;
+  config.loss = 1.5;
+  EXPECT_FALSE(ValidateFaultFlags(config, NoFlags()).ok());
+
+  config = FaultConfig{};
+  config.crash_nodes = -1;
+  EXPECT_FALSE(ValidateFaultFlags(config, NoFlags()).ok());
+
+  config = FaultConfig{};
+  config.crash_nodes = 1;
+  config.crash_len = -2;
+  FaultFlagPresence present = NoFlags();
+  present.crash_nodes = true;
+  present.crash_len = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+}
+
+TEST(ValidateFaultFlagsTest, MaxRetxRequiresArq) {
+  FaultConfig config;
+  FaultFlagPresence present = NoFlags();
+  present.max_retx = true;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
+
+  config.arq.enabled = true;
+  present.arq = true;
+  EXPECT_TRUE(ValidateFaultFlags(config, present).ok());
+
+  config.arq.max_retx = -1;
+  EXPECT_FALSE(ValidateFaultFlags(config, present).ok());
 }
 
 TEST(FaultPlanTest, RepairBumpsTheTreeEpochAndResetRestoresIt) {

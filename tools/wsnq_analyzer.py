@@ -140,7 +140,7 @@ BAN_MESSAGES = {
 }
 
 # Layer DAG: which first-party include layers each source layer may use.
-SRC_LAYERS = ("util", "net", "data", "fault", "sketch", "algo", "core")
+SRC_LAYERS = ("util", "net", "data", "fault", "sketch", "algo", "core", "mc")
 LAYER_ALLOWED: Dict[str, Set[str]] = {
     "util": {"util"},
     "net": {"net", "util"},
@@ -151,6 +151,10 @@ LAYER_ALLOWED: Dict[str, Set[str]] = {
     "sketch": {"sketch", "algo", "net", "util"},
     "algo": {"algo", "sketch", "net", "util"},
     "core": {"core", "algo", "sketch", "data", "fault", "net", "util"},
+    # The model checker sits on top of everything it checks; nothing under
+    # src/ may include mc/ back (the checker must observe, never shape, the
+    # production stack).
+    "mc": {"mc", "core", "algo", "sketch", "data", "fault", "net", "util"},
 }
 for _top in ("tests", "tools", "bench", "examples"):
     LAYER_ALLOWED[_top] = set(SRC_LAYERS) | {_top}

@@ -46,6 +46,7 @@
 #include "core/report.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
+#include "fault/fault_cli.h"
 #include "util/flags.h"
 #include "util/mutex.h"
 #include "util/trace.h"
@@ -152,6 +153,21 @@ int main(int argc, char** argv) {
   config.fault.repair = !flags.GetBool("no-repair", false);
   config.fault.arq.enabled = flags.GetBool("arq", false);
   config.fault.arq.max_retx = static_cast<int>(flags.GetInt("max-retx", 16));
+  FaultFlagPresence fault_present;
+  fault_present.loss = flags.Has("loss");
+  fault_present.loss_model = flags.Has("loss-model");
+  fault_present.burst_len = flags.Has("burst-len");
+  fault_present.crash_nodes = flags.Has("crash-nodes");
+  fault_present.crash_round = flags.Has("crash-round");
+  fault_present.crash_len = flags.Has("crash-len");
+  fault_present.no_repair = flags.Has("no-repair");
+  fault_present.arq = flags.Has("arq");
+  fault_present.max_retx = flags.Has("max-retx");
+  const Status fault_status = ValidateFaultFlags(config.fault, fault_present);
+  if (!fault_status.ok()) {
+    std::fprintf(stderr, "%s\n", fault_status.ToString().c_str());
+    return 2;
+  }
   config.synthetic.period_rounds = flags.GetDouble("period", 125.0);
   config.synthetic.noise_percent = flags.GetDouble("noise", 5.0);
   config.pressure.skip = static_cast<int>(flags.GetInt("skip", 0));
