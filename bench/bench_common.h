@@ -14,6 +14,8 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "perf/bench_harness.h"
+#include "perf/stage_collector.h"
 #include "util/flags.h"
 #include "util/trace.h"
 
@@ -26,6 +28,8 @@ struct CommonOptions {
   std::string trace_path;    ///< --trace=PATH (empty: no trace)
   std::string metrics_path;  ///< --metrics=PATH (empty: no metrics CSV)
   std::string profile_path;  ///< --profile[=PATH] ("true": stderr only)
+  int reps = 1;              ///< --reps=N / WSNQ_BENCH_REPS
+  int warmup = 0;            ///< --warmup=N / WSNQ_BENCH_WARMUP
 };
 
 inline CommonOptions& Options() {
@@ -44,6 +48,16 @@ inline SimulationConfig DefaultSyntheticConfig() {
   return config;
 }
 
+/// Startup-time env default for the harness knobs (0 is a legal value for
+/// --warmup, so unlike core's IntFromEnv this keeps non-negative parses).
+inline int HarnessIntFromEnv(const char* name, int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time config read
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const int parsed = std::atoi(raw);
+  return parsed >= 0 ? parsed : fallback;
+}
+
 /// Parses the flags every bench shares into `config`:
 ///   --threads=N      worker threads for multi-run experiments (0 = auto via
 ///                    WSNQ_THREADS / hardware concurrency, 1 = serial); the
@@ -52,7 +66,15 @@ inline SimulationConfig DefaultSyntheticConfig() {
 ///                    Chrome/Perfetto JSON; needs -DWSNQ_TRACING=ON).
 ///   --metrics=PATH   long-format metrics CSV (docs/observability.md).
 ///   --profile[=PATH] wall-clock stage profile to stderr (plus JSON when a
-///                    PATH is given).
+///                    PATH is given); attaches the perf::StageCollector so
+///                    stages carry hardware-counter/alloc deltas where the
+///                    host provides them.
+///   --reps=N         measured repetitions of the sweep computation
+///                    (default 1 / WSNQ_BENCH_REPS). Rows print once (rep
+///                    0); the "# bench" stderr line reports median/MAD/CV
+///                    over the reps, so stdout stays byte-identical.
+///   --warmup=N       unmeasured warmup repetitions before the first
+///                    measured one (default 0 / WSNQ_BENCH_WARMUP).
 /// Returns false (after printing to stderr) on malformed values or unknown
 /// flags, so typos fail the bench instead of silently running defaults.
 inline bool ParseCommonFlags(int argc, const char* const* argv,
@@ -63,6 +85,10 @@ inline bool ParseCommonFlags(int argc, const char* const* argv,
   Options().trace_path = flags.GetString("trace", "");
   Options().metrics_path = flags.GetString("metrics", "");
   Options().profile_path = flags.GetString("profile", "");
+  Options().reps = static_cast<int>(
+      flags.GetInt("reps", HarnessIntFromEnv("WSNQ_BENCH_REPS", 1)));
+  Options().warmup = static_cast<int>(
+      flags.GetInt("warmup", HarnessIntFromEnv("WSNQ_BENCH_WARMUP", 0)));
   config->collect_metrics = !Options().metrics_path.empty();
   bool ok = true;
   for (const std::string& error : flags.errors()) {
@@ -72,12 +98,18 @@ inline bool ParseCommonFlags(int argc, const char* const* argv,
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr,
                  "unknown flag: --%s (supported: --threads=N --trace=PATH "
-                 "--metrics=PATH --profile[=PATH])\n",
+                 "--metrics=PATH --profile[=PATH] --reps=N --warmup=N)\n",
                  unused.c_str());
     ok = false;
   }
   if (!ok) return false;
-  if (!Options().profile_path.empty()) prof::Enable();
+  if (!Options().profile_path.empty()) {
+    prof::Enable();
+    // Attach counters/alloc accounting to the prof:: spans. The status
+    // line says whether this host grants perf_event_open; stderr, so
+    // deterministic stdout is untouched.
+    std::fprintf(stderr, "%s\n", perf::InstallStageCollector().c_str());
+  }
   if (!Options().trace_path.empty()) {
     if (!trace::CompiledIn()) {
       std::fprintf(stderr,
@@ -148,26 +180,51 @@ inline int RunSweep(
     configure(x, &point.config);
     points.push_back(std::move(point));
   }
-  PrintReportHeader();
+  // Repetition protocol (perf/bench_harness.h): the sweep computation runs
+  // `warmup` unmeasured times, then `reps` measured times. Only the FIRST
+  // invocation prints rows — the computation is deterministic, so every
+  // rep would yield identical rows, and printing once keeps stdout
+  // byte-identical to the single-shot (--reps=1, the default) behavior.
+  // The robust per-rep statistics go to stderr as a "# bench" line for
+  // bench_snapshot.py.
+  const perf::BenchHarness harness(Options().warmup, Options().reps);
   int64_t total_errors = 0;
-  auto sweep = wsnq::RunSweep(points, factories, runs);
-  if (!sweep.ok()) {
-    std::fprintf(stderr, "sweep %s failed: %s\n", x_name.c_str(),
-                 sweep.status().ToString().c_str());
+  bool printed = false;
+  const auto sweep_once = [&]() -> int {
+    auto sweep = wsnq::RunSweep(points, factories, runs);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "sweep %s failed: %s\n", x_name.c_str(),
+                   sweep.status().ToString().c_str());
+      return 1;
+    }
+    if (printed) return 0;  // warmup or repeat rep: compute only
+    printed = true;
+    PrintReportHeader();
+    for (const SweepPointResult& point : sweep.value()) {
+      for (const AlgorithmAggregate& agg : point.aggregates) {
+        PrintReportRow(figure, dataset, x_name, point.x_value, agg);
+        total_errors += agg.errors;
+        if (metrics_out != nullptr) {
+          PrintMetricsCsvRows(metrics_out, figure, dataset, x_name,
+                              point.x_value, agg);
+        }
+      }
+    }
+    return 0;
+  };
+  int sweep_code = 0;
+  const perf::RepStats rep_stats = harness.Measure(sweep_once, &sweep_code);
+  if (sweep_code != 0) {
     if (metrics_out != nullptr) std::fclose(metrics_out);
     return FinishObservability(1);
   }
-  for (const SweepPointResult& point : sweep.value()) {
-    for (const AlgorithmAggregate& agg : point.aggregates) {
-      PrintReportRow(figure, dataset, x_name, point.x_value, agg);
-      total_errors += agg.errors;
-      if (metrics_out != nullptr) {
-        PrintMetricsCsvRows(metrics_out, figure, dataset, x_name,
-                            point.x_value, agg);
-      }
-    }
-  }
   if (metrics_out != nullptr) std::fclose(metrics_out);
+  std::fprintf(stderr,
+               "# bench figure=%s reps=%d warmup=%d median_s=%.6f "
+               "mad_s=%.6f min_s=%.6f max_s=%.6f mean_s=%.6f cv=%.4f\n",
+               figure.c_str(), rep_stats.reps, harness.warmup(),
+               rep_stats.median_s, rep_stats.mad_s, rep_stats.min_s,
+               rep_stats.max_s, rep_stats.mean_s, rep_stats.cv);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

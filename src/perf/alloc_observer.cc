@@ -1,0 +1,136 @@
+#include "perf/alloc_observer.h"
+
+#if defined(WSNQ_PERF_ALLOC) && WSNQ_PERF_ALLOC
+
+#include <cstdlib>
+#include <new>
+
+namespace wsnq {
+namespace perf {
+namespace {
+
+// Bumped by every replaced operator new below. Thread-local so the hooks
+// stay lock-free and per-thread attribution (StageCollector's span deltas)
+// needs no cross-thread reconciliation.
+thread_local int64_t t_alloc_count = 0;
+thread_local int64_t t_alloc_bytes = 0;
+
+inline void Account(std::size_t size) {
+  ++t_alloc_count;
+  t_alloc_bytes += static_cast<int64_t>(size);
+}
+
+void* AllocOrThrow(std::size_t size) {
+  Account(size);
+  // malloc(0) may return nullptr legally; operator new must not.
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* AllocAligned(std::size_t size, std::size_t alignment) {
+  Account(size);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size != 0 ? size : alignment) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+bool AllocHooksCompiledIn() { return true; }
+
+AllocSnapshot ThreadAllocSnapshot() {
+  AllocSnapshot snapshot;
+  snapshot.count = t_alloc_count;
+  snapshot.bytes = t_alloc_bytes;
+  return snapshot;
+}
+
+}  // namespace perf
+}  // namespace wsnq
+
+// --- Global operator new/delete replacements ------------------------------
+//
+// All forms delegate to malloc/posix_memalign so throwing, nothrow, array,
+// aligned, and sized variants stay mutually consistent. Deletes are not
+// counted: the observatory charges allocation pressure (count/bytes
+// requested), which is what the SoA-vs-pointer-chasing comparison needs.
+
+void* operator new(std::size_t size) { return wsnq::perf::AllocOrThrow(size); }
+
+void* operator new[](std::size_t size) {
+  return wsnq::perf::AllocOrThrow(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  wsnq::perf::Account(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  wsnq::perf::Account(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = wsnq::perf::AllocAligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = wsnq::perf::AllocAligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return wsnq::perf::AllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return wsnq::perf::AllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}
+
+#else  // !WSNQ_PERF_ALLOC
+
+namespace wsnq {
+namespace perf {
+
+bool AllocHooksCompiledIn() { return false; }
+
+AllocSnapshot ThreadAllocSnapshot() { return AllocSnapshot{}; }
+
+}  // namespace perf
+}  // namespace wsnq
+
+#endif  // WSNQ_PERF_ALLOC

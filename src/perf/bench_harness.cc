@@ -1,0 +1,61 @@
+#include "perf/bench_harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+#include "util/trace.h"
+
+namespace wsnq {
+namespace perf {
+
+RepStats SummarizeSamples(std::vector<double> samples_s) {
+  RepStats stats;
+  stats.reps = static_cast<int>(samples_s.size());
+  if (samples_s.empty()) return stats;
+  stats.median_s = Median(samples_s);
+  std::vector<double> deviations;
+  deviations.reserve(samples_s.size());
+  RunningStat running;
+  for (double s : samples_s) {
+    deviations.push_back(std::abs(s - stats.median_s));
+    running.Add(s);
+  }
+  stats.mad_s = Median(std::move(deviations));
+  stats.min_s = running.min();
+  stats.max_s = running.max();
+  stats.mean_s = running.mean();
+  stats.cv = running.mean() > 0.0 ? running.stddev() / running.mean() : 0.0;
+  stats.samples_s = std::move(samples_s);
+  return stats;
+}
+
+BenchHarness::BenchHarness(int warmup, int reps)
+    : warmup_(std::max(warmup, 0)), reps_(std::max(reps, 1)) {}
+
+RepStats BenchHarness::Measure(const std::function<int()>& body,
+                               int* exit_code) const {
+  *exit_code = 0;
+  for (int i = 0; i < warmup_; ++i) {
+    const int code = body();
+    if (code != 0) {
+      *exit_code = code;
+      return SummarizeSamples({});
+    }
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps_));
+  for (int i = 0; i < reps_; ++i) {
+    const double start = prof::WallSeconds();
+    const int code = body();
+    samples.push_back(prof::WallSeconds() - start);
+    if (code != 0) {
+      *exit_code = code;
+      break;
+    }
+  }
+  return SummarizeSamples(std::move(samples));
+}
+
+}  // namespace perf
+}  // namespace wsnq

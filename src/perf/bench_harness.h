@@ -1,0 +1,62 @@
+// Warmup + repetition measurement protocol with robust statistics for the
+// bench/ binaries (docs/observability.md, "Benchmark harness").
+//
+// A single-shot wall clock cannot tell a regression from scheduler noise;
+// the harness runs a measured body `warmup + reps` times and summarizes
+// the rep samples with estimators that are robust to the occasional
+// outlier a busy CI box produces: median (central tendency), MAD (median
+// absolute deviation — the noise scale tools/bench_compare.py gates on),
+// min (the contention-free floor), plus mean/max/CV for context. Defaults
+// (reps = 1, warmup = 0) reproduce the historical single-shot behavior
+// exactly, so benches pay nothing until --reps is requested.
+
+#ifndef WSNQ_PERF_BENCH_HARNESS_H_
+#define WSNQ_PERF_BENCH_HARNESS_H_
+
+#include <functional>
+#include <vector>
+
+namespace wsnq {
+namespace perf {
+
+/// Robust summary of one bench's repetition samples (seconds).
+struct RepStats {
+  int reps = 0;
+  double median_s = 0.0;
+  /// Median absolute deviation from the median — the scale
+  /// bench_compare.py multiplies by k for its noise-aware threshold.
+  double mad_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double mean_s = 0.0;
+  /// Coefficient of variation (stddev / mean); 0 for a single rep.
+  double cv = 0.0;
+  std::vector<double> samples_s;
+};
+
+/// Pure summary of pre-measured samples (unit-testable without a clock).
+RepStats SummarizeSamples(std::vector<double> samples_s);
+
+/// Runs `body` warmup times unmeasured, then reps times measured (wall
+/// clock via prof::WallSeconds), and returns the summary. `body` returns
+/// an exit code; a nonzero code aborts the protocol immediately and is
+/// stored in *exit_code (remaining reps are skipped, the partial samples
+/// are summarized). reps < 1 is clamped to 1; warmup < 0 to 0.
+class BenchHarness {
+ public:
+  BenchHarness(int warmup, int reps);
+
+  int warmup() const { return warmup_; }
+  int reps() const { return reps_; }
+
+  RepStats Measure(const std::function<int()>& body, int* exit_code) const;
+
+ private:
+  int warmup_;
+  int reps_;
+};
+
+}  // namespace perf
+}  // namespace wsnq
+
+#endif  // WSNQ_PERF_BENCH_HARNESS_H_

@@ -1,0 +1,56 @@
+// Bridges src/perf/ measurements into the prof:: stage profile
+// (docs/observability.md, "Hardware counters, allocation accounting &
+// regression gating").
+//
+// StageCollector implements prof::StageObserver: at every profile span's
+// begin it snapshots the calling thread's hardware counters
+// (perf/counters.h) and allocation totals (perf/alloc_observer.h), and at
+// span end it charges the deltas to the span's stage. Installed once per
+// process (InstallStageCollector, called by bench::ParseCommonFlags and
+// wsnq_sim when --profile is requested); threads lazily open their own
+// CounterSet on first span. Where perf_event_open is denied the collector
+// degrades to alloc-only (or to a pure pass-through when the alloc hooks
+// are compiled out too) — `--profile` output is then exactly the
+// wall-clock-only profile this repo has always produced.
+
+#ifndef WSNQ_PERF_STAGE_COLLECTOR_H_
+#define WSNQ_PERF_STAGE_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/trace.h"
+
+namespace wsnq {
+namespace perf {
+
+/// prof::StageObserver backed by per-thread CounterSets and the alloc
+/// hooks. Thread-safe: all mutable state is thread-local.
+class StageCollector : public prof::StageObserver {
+ public:
+  uint64_t BeginSpan() override;
+  void EndSpan(uint64_t token, prof::StageExtras* extras) override;
+
+  /// True when at least one thread managed to open hardware counters.
+  static bool CountersObserved();
+};
+
+/// Installs the process-wide StageCollector (idempotent). Returns a
+/// one-line status suitable for stderr: which of counters/alloc hooks are
+/// live, and why counters are absent when they are.
+std::string InstallStageCollector();
+
+/// Detaches the collector again (tests only).
+void UninstallStageCollectorForTest();
+
+/// Drops the calling thread's lazily opened CounterSet (tests only): the
+/// next span re-opens it under the current
+/// CounterSet::ForceUnavailableForTest state, which makes the
+/// counter-denied path reachable on a thread whose counters already
+/// opened naturally. Must not be called while a profile span is open.
+void ResetThreadCountersForTest();
+
+}  // namespace perf
+}  // namespace wsnq
+
+#endif  // WSNQ_PERF_STAGE_COLLECTOR_H_

@@ -12,6 +12,29 @@
 #include "util/mutex.h"
 
 namespace wsnq {
+
+namespace {
+
+// printf-append helper shared by the trace serializers and the prof
+// reporters below. Truncates one formatted chunk at 256 bytes; callers
+// keep individual chunks well under that.
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  WSNQ_CHECK_GE(n, 0);
+  out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                       ? static_cast<size_t>(n)
+                       : sizeof(buf) - 1);
+}
+
+}  // namespace
+
 namespace trace {
 
 namespace {
@@ -42,21 +65,6 @@ const char* ChromePh(Event::Kind kind) {
       return "C";
   }
   return "i";
-}
-
-void AppendF(std::string* out, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-
-void AppendF(std::string* out, const char* fmt, ...) {
-  char buf[256];
-  va_list ap;
-  va_start(ap, fmt);
-  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  WSNQ_CHECK_GE(n, 0);
-  out->append(buf, static_cast<size_t>(n) < sizeof(buf)
-                       ? static_cast<size_t>(n)
-                       : sizeof(buf) - 1);
 }
 
 thread_local TraceBuffer* t_current = nullptr;
@@ -232,9 +240,13 @@ namespace {
 struct StageStat {
   int64_t count = 0;
   double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  StageExtras extras;
 };
 
 std::atomic<bool> g_enabled{false};
+std::atomic<StageObserver*> g_observer{nullptr};
 
 /// Guards the profile's stage map (workers call AddSample concurrently).
 Mutex& ProfileMu() {
@@ -251,6 +263,28 @@ std::map<std::string, StageStat>& Stages() WSNQ_REQUIRES(ProfileMu()) {
 
 }  // namespace
 
+void StageExtras::Merge(const StageExtras& other) {
+  counter_spans += other.counter_spans;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_misses += other.cache_misses;
+  branch_misses += other.branch_misses;
+  task_clock_s += other.task_clock_s;
+  alloc_spans += other.alloc_spans;
+  alloc_count += other.alloc_count;
+  alloc_bytes += other.alloc_bytes;
+}
+
+StageObserver::~StageObserver() = default;
+
+void SetStageObserver(StageObserver* observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+StageObserver* GetStageObserver() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void Enable() { g_enabled.store(true, std::memory_order_relaxed); }
@@ -262,25 +296,102 @@ double WallSeconds() {
 }
 
 void AddSample(const char* stage, double seconds) {
+  AddSampleWithExtras(stage, seconds, nullptr);
+}
+
+void AddSampleWithExtras(const char* stage, double seconds,
+                         const StageExtras* extras) {
   MutexLock lock(ProfileMu());
   StageStat& stat = Stages()[stage];
+  if (stat.count == 0 || seconds < stat.min_s) stat.min_s = seconds;
+  if (stat.count == 0 || seconds > stat.max_s) stat.max_s = seconds;
   ++stat.count;
   stat.total_s += seconds;
+  if (extras != nullptr) stat.extras.Merge(*extras);
+}
+
+std::vector<StageReport> Snapshot() {
+  std::vector<StageReport> reports;
+  MutexLock lock(ProfileMu());
+  reports.reserve(Stages().size());
+  for (const auto& [stage, stat] : Stages()) {
+    StageReport report;
+    report.stage = stage;
+    report.count = stat.count;
+    report.total_s = stat.total_s;
+    report.min_s = stat.min_s;
+    report.max_s = stat.max_s;
+    report.extras = stat.extras;
+    reports.push_back(std::move(report));
+  }
+  return reports;  // std::map iteration: already sorted by stage
+}
+
+void ResetForTest() {
+  MutexLock lock(ProfileMu());
+  Stages().clear();
 }
 
 ScopedTimer::ScopedTimer(const char* stage)
-    : stage_(stage), start_(Enabled() ? WallSeconds() : -1.0) {}
+    : stage_(stage), start_(Enabled() ? WallSeconds() : -1.0) {
+  if (start_ >= 0.0) {
+    observer_ = GetStageObserver();
+    if (observer_ != nullptr) token_ = observer_->BeginSpan();
+  }
+}
 
 ScopedTimer::~ScopedTimer() {
-  if (start_ >= 0.0) AddSample(stage_, WallSeconds() - start_);
+  if (start_ < 0.0) return;
+  const double seconds = WallSeconds() - start_;
+  if (observer_ != nullptr) {
+    StageExtras extras;
+    observer_->EndSpan(token_, &extras);
+    AddSampleWithExtras(stage_, seconds, &extras);
+  } else {
+    AddSample(stage_, seconds);
+  }
 }
+
+namespace {
+
+/// Shared stderr/JSON field list; `sep` is " " for stderr key=value lines
+/// and "," for JSON (where keys are quoted).
+void AppendStageFields(std::string* out, const StageStat& stat, bool json) {
+  const StageExtras& x = stat.extras;
+  const char* q = json ? "\"" : "";
+  const char* kv = json ? "\":" : "=";
+  const char* sep = json ? "," : " ";
+  AppendF(out, "%s%scount%s%lld%s%stotal_s%s%.6f%s%smin_s%s%.6f%s%smax_s%s%.6f",
+          sep, q, kv, static_cast<long long>(stat.count), sep, q, kv,
+          stat.total_s, sep, q, kv, stat.min_s, sep, q, kv, stat.max_s);
+  if (x.counter_spans > 0) {
+    AppendF(out,
+            "%s%scounter_spans%s%lld%s%scycles%s%lld%s%sinstructions%s%lld"
+            "%s%scache_misses%s%lld%s%sbranch_misses%s%lld"
+            "%s%stask_clock_s%s%.6f",
+            sep, q, kv, static_cast<long long>(x.counter_spans), sep, q, kv,
+            static_cast<long long>(x.cycles), sep, q, kv,
+            static_cast<long long>(x.instructions), sep, q, kv,
+            static_cast<long long>(x.cache_misses), sep, q, kv,
+            static_cast<long long>(x.branch_misses), sep, q, kv,
+            x.task_clock_s);
+  }
+  if (x.alloc_spans > 0) {
+    AppendF(out, "%s%salloc_count%s%lld%s%salloc_bytes%s%lld", sep, q, kv,
+            static_cast<long long>(x.alloc_count), sep, q, kv,
+            static_cast<long long>(x.alloc_bytes));
+  }
+}
+
+}  // namespace
 
 void ReportToStderr() {
   MutexLock lock(ProfileMu());
   for (const auto& [stage, stat] : Stages()) {
-    std::fprintf(stderr, "# profile stage=%s count=%lld total_s=%.6f\n",
-                 stage.c_str(), static_cast<long long>(stat.count),
-                 stat.total_s);
+    std::string line;
+    AppendF(&line, "# profile stage=%s", stage.c_str());
+    AppendStageFields(&line, stat, /*json=*/false);
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 
@@ -290,12 +401,10 @@ Status WriteJson(const std::string& path) {
     MutexLock lock(ProfileMu());
     bool first = true;
     for (const auto& [stage, stat] : Stages()) {
-      char buf[256];
-      std::snprintf(buf, sizeof(buf),
-                    "%s{\"stage\":\"%s\",\"count\":%lld,\"total_s\":%.6f}",
-                    first ? "" : ",\n", stage.c_str(),
-                    static_cast<long long>(stat.count), stat.total_s);
-      body += buf;
+      AppendF(&body, "%s{\"stage\":\"%s\"", first ? "" : ",\n",
+              stage.c_str());
+      AppendStageFields(&body, stat, /*json=*/true);  // leads with ","
+      body += "}";
       first = false;
     }
   }

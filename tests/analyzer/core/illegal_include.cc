@@ -1,9 +1,12 @@
 // wsnq-analyzer corpus: layering — core sits above algo/sketch/data/fault
 // in the DAG and may never reach into bench (or tests/tools/examples).
-// NOT compiled.
+// The measurement layer is also off-limits: simulation results must not
+// depend on how they are measured, so only bench/tests/tools may include
+// perf/. NOT compiled.
 
 #include "bench/bench_common.h"  // expect-diag: layering
 #include "core/config.h"
+#include "perf/counters.h"  // expect-diag: layering
 #include "util/status.h"
 
 namespace corpus {

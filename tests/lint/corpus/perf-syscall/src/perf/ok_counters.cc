@@ -1,0 +1,14 @@
+// wsnq-lint corpus: src/perf/ is the sanctioned home of the counter
+// syscall plumbing (perf/counters.h). No findings expected here.
+
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+int OpenCycles() {
+  perf_event_attr attr = {};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = PERF_COUNT_HW_CPU_CYCLES;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}

@@ -1,0 +1,10 @@
+// wsnq-lint corpus: src/perf/ (the measurement layer) is allowlisted for
+// raw clock reads. No findings expected here.
+
+#include <chrono>
+
+double HarnessStamp() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

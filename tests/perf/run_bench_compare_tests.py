@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Regression corpus for tools/bench_compare.py (ctest leg
+bench_compare_test).
+
+Each case runs the real CLI via subprocess against a committed fixture
+pair (tests/perf/fixtures/) and pins the exit code plus key output lines:
+
+  * base vs clean     — same machine, deltas inside the noise gates: 0.
+  * base vs regressed — fig6 +12% median AND min, micro BM_Fast +60%: 1,
+                        and both culprits are named.
+  * base vs noisy     — fig6 median +6% but the contention-free floor
+                        (min_s) moved only +1% (machine drift), loss_sweep
+                        +8% but inside 3 MADs of its own noise: 0. This is
+                        the case the naive "median moved 5%" gate fails.
+  * base vs schema_v1 — pre-schema-2 snapshot: unusable input, exit 2.
+  * cross-machine     — regressed numbers but a different hostname:
+                        informational only, exit 0 with a warning;
+                        --force-cross-machine restores the gate, exit 1.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+COMPARE = os.path.join(HERE, os.pardir, os.pardir, "tools",
+                       "bench_compare.py")
+
+FAILURES = []
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def run_compare(old, new, *extra):
+    return subprocess.run(
+        [sys.executable, COMPARE, old, new, *extra],
+        capture_output=True, text=True)
+
+
+def check(label, proc, want_code, want_substrings=(), forbid_substrings=()):
+    combined = proc.stdout + proc.stderr
+    problems = []
+    if proc.returncode != want_code:
+        problems.append(f"exit {proc.returncode}, want {want_code}")
+    for needle in want_substrings:
+        if needle not in combined:
+            problems.append(f"missing {needle!r}")
+    for needle in forbid_substrings:
+        if needle in combined:
+            problems.append(f"unexpected {needle!r}")
+    if problems:
+        FAILURES.append(f"{label}: {'; '.join(problems)}\n--- output:\n"
+                        f"{combined}")
+        print(f"FAIL {label}")
+    else:
+        print(f"ok   {label}")
+
+
+def main():
+    check("clean pair passes",
+          run_compare(fixture("base.json"), fixture("clean.json")),
+          want_code=0,
+          want_substrings=["no regressions flagged"],
+          forbid_substrings=["REGRESSION"])
+
+    check("regressed pair flags bench and micro",
+          run_compare(fixture("base.json"), fixture("regressed.json")),
+          want_code=1,
+          want_substrings=["REGRESSION", "bench fig6", "micro BM_Fast"],
+          forbid_substrings=["bench loss_sweep"])
+
+    check("noisy-but-within-gates pair passes",
+          run_compare(fixture("base.json"), fixture("noisy.json")),
+          want_code=0,
+          want_substrings=["no regressions flagged"],
+          forbid_substrings=["REGRESSION"])
+
+    check("schema mismatch is unusable input",
+          run_compare(fixture("base.json"), fixture("schema_v1.json")),
+          want_code=2,
+          want_substrings=["schema 1"])
+
+    # Cross-machine: same regressed numbers, different hostname.
+    with open(fixture("regressed.json"), encoding="utf-8") as f:
+        cross = json.load(f)
+    cross["metadata"]["hostname"] = "other-box"
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump(cross, tmp)
+        cross_path = tmp.name
+    try:
+        check("cross-machine diff is informational",
+              run_compare(fixture("base.json"), cross_path),
+              want_code=0,
+              want_substrings=["hostname",
+                               "regressions not gated"])
+        check("--force-cross-machine restores the gate",
+              run_compare(fixture("base.json"), cross_path,
+                          "--force-cross-machine"),
+              want_code=1,
+              want_substrings=["REGRESSION"])
+    finally:
+        os.unlink(cross_path)
+
+    # Threshold knobs reach the gate: a floor above the injected deltas
+    # must disarm both the bench and micro verdicts.
+    check("--rel-floor above the delta disarms the gate",
+          run_compare(fixture("base.json"), fixture("regressed.json"),
+                      "--rel-floor=0.15", "--micro-rel=0.7"),
+          want_code=0,
+          forbid_substrings=["REGRESSION"])
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} bench_compare corpus failure(s):")
+        for failure in FAILURES:
+            print(failure)
+        return 1
+    print("\nbench_compare corpus: all cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
-"""Records a performance snapshot of the tree as BENCH_<date>.json.
+"""Records a performance snapshot of the tree as BENCH_<date>.json (schema 2).
 
-Two measurements, deliberately cheap enough to run on every perf-relevant
+Four measurements, deliberately cheap enough to run on every perf-relevant
 PR (a couple of minutes on one core):
 
   * the micro primitive benchmarks (build/bench/micro_primitives,
     Google Benchmark JSON) — per-op costs of the sketch/codec hot paths;
   * one end-to-end figure sweep (build/bench/fig6_vary_n) at reduced
     WSNQ_RUNS/WSNQ_ROUNDS — the wall clock of the whole simulator stack,
-    parsed from the bench's "# timing ..." stderr footer;
+    measured over --reps repetitions (perf/bench_harness.h) so the
+    snapshot records robust statistics (median, MAD, CV), not one sample;
   * one lossy sweep (build/bench/fig_loss_sweep) at the same reduced
     scale — the same stack with the fault subsystem hot (Gilbert/iid link
     chains, ARQ retransmission loops), so reliability-path regressions
@@ -20,17 +21,30 @@ PR (a couple of minutes on one core):
     cache-off/cache-on construction ratio recorded as the speedup the
     scenario cache (core/scenario_cache.h) is buying.
 
-Snapshots are committed next to each other at the repo root, so a
-regression shows up as a diff between BENCH_<old>.json and BENCH_<new>.json
-rather than as folklore. Compare with:
+Schema 2 additions over the historical v1 snapshots:
 
-  python3 -c "import json;a,b=[json.load(open(p)) for p in
-      ('BENCH_A.json','BENCH_B.json')];print(a['fig6']['wall_s'],
-      b['fig6']['wall_s'])"
+  * top-level "schema": 2 and a "metadata" block (host, CPU count,
+    compiler, build type, flags, relevant WSNQ_* cache options, git rev) —
+    so a diff between two snapshots can first answer "same machine, same
+    build?" before anyone reads a number;
+  * per-bench robust statistics from the "# bench" stderr line emitted by
+    bench/bench_common.h: {reps, warmup, median_s, mad_s, min_s, max_s,
+    mean_s, cv} next to the single-shot wall_s;
+  * per-stage profile entries now carry min_s/max_s and, where the host
+    grants perf_event_open, hardware-counter and allocation deltas
+    (src/perf/stage_collector.h) — every "key=value" field of the
+    "# profile" line is kept.
+
+Snapshots are committed next to each other at the repo root. Compare two
+with tools/bench_compare.py, which gates noise-aware (k·MAD) and exits
+non-zero on a regression:
+
+  python3 tools/bench_compare.py BENCH_old.json BENCH_new.json
 
 Usage:
   tools/bench_snapshot.py [--build-dir=build] [--date=YYYY-MM-DD]
-                          [--runs=4] [--rounds=60] [--out=PATH]
+                          [--runs=4] [--rounds=60] [--reps=5] [--warmup=1]
+                          [--out=PATH]
 
 --date exists so a snapshot regenerated while reproducing an old result
 can overwrite the original file instead of minting a new day.
@@ -40,17 +54,111 @@ import argparse
 import datetime
 import json
 import os
+import platform
 import re
 import subprocess
 import sys
+
+SCHEMA_VERSION = 2
 
 TIMING_RE = re.compile(
     r"# timing figure=(?P<figure>\S+) threads=(?P<threads>\d+) "
     r"runs=(?P<runs>\d+) wall_s=(?P<wall_s>[0-9.]+)")
 
-PROFILE_RE = re.compile(
-    r"# profile stage=(?P<stage>\S+) count=(?P<count>\d+) "
-    r"total_s=(?P<total_s>[0-9.]+)")
+# "# bench ..." and "# profile ..." lines are free-form key=value; parse
+# them generically so new fields (counters, allocs) flow into the snapshot
+# without a tool change.
+_NUMBER_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+(e-?\d+)?$")
+
+
+def parse_kv_line(line):
+    """Parses "# tag key=value key=value ..." into a dict (typed values)."""
+    fields = {}
+    for token in line.split()[2:]:
+        if "=" not in token:
+            continue
+        key, value = token.split("=", 1)
+        if _NUMBER_RE.match(value):
+            fields[key] = int(value)
+        elif _FLOAT_RE.match(value):
+            fields[key] = float(value)
+        else:
+            fields[key] = value
+    return fields
+
+
+def parse_bench_lines(stderr):
+    """Returns the parsed "# bench" repetition-statistics lines, in order."""
+    return [parse_kv_line(line) for line in stderr.splitlines()
+            if line.startswith("# bench ")]
+
+
+def parse_profile_stages(stderr):
+    """Returns {stage: fields} from the "# profile stage=..." lines.
+
+    Later lines win: benches that run several sweeps report cumulative
+    per-stage totals each time, so the last report per stage is the
+    process total."""
+    stages = {}
+    for line in stderr.splitlines():
+        if not line.startswith("# profile stage="):
+            continue
+        fields = parse_kv_line(line)
+        stage = fields.pop("stage", None)
+        if stage:
+            stages[stage] = fields
+    return stages
+
+
+def parse_cmake_cache(path):
+    """Returns {name: value} for the VAR:TYPE=value lines of CMakeCache.txt."""
+    cache = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith(("#", "//")):
+                    continue
+                if "=" not in line or ":" not in line.split("=", 1)[0]:
+                    continue
+                name_type, value = line.split("=", 1)
+                cache[name_type.split(":", 1)[0]] = value
+    except OSError:
+        pass
+    return cache
+
+
+def git_revision():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return ""
+
+
+def collect_metadata(build_dir):
+    """Machine/build/compiler identity: the "same machine, same build?"
+    questions a snapshot diff must answer before its numbers mean
+    anything."""
+    cache = parse_cmake_cache(os.path.join(build_dir, "CMakeCache.txt"))
+    uname = platform.uname()
+    return {
+        "hostname": uname.node,
+        "os": f"{uname.system} {uname.release}",
+        "arch": uname.machine,
+        "cpus": os.cpu_count(),
+        "compiler": cache.get("CMAKE_CXX_COMPILER", ""),
+        "build_type": cache.get("CMAKE_BUILD_TYPE", ""),
+        "cxx_flags": cache.get("CMAKE_CXX_FLAGS", ""),
+        "options": {
+            name: cache.get(name, "")
+            for name in ("WSNQ_TRACING", "WSNQ_PERF_ALLOC", "WSNQ_SANITIZE",
+                         "WSNQ_WERROR")
+        },
+        "git_rev": git_revision(),
+    }
 
 
 def run_micro(build_dir):
@@ -74,21 +182,42 @@ def run_micro(build_dir):
     }
 
 
-def run_sweep(build_dir, bench_name, runs, rounds):
-    """Runs one figure sweep binary and parses the stderr timing footer."""
+def run_sweep(build_dir, bench_name, runs, rounds, reps, warmup):
+    """Runs one figure sweep binary under the repetition harness.
+
+    Parses the "# timing" footer (single-shot wall clock, reproducible
+    against v1 snapshots), the "# bench" robust statistics, and the
+    "# profile" per-stage report (with counter/alloc deltas where the
+    host provides them)."""
     binary = os.path.join(build_dir, "bench", bench_name)
     env = dict(os.environ, WSNQ_RUNS=str(runs), WSNQ_ROUNDS=str(rounds))
-    out = subprocess.run([binary, "--threads=1"], check=True,
-                         capture_output=True, text=True, env=env)
+    out = subprocess.run(
+        [binary, "--threads=1", "--profile", f"--reps={reps}",
+         f"--warmup={warmup}"],
+        check=True, capture_output=True, text=True, env=env)
     match = TIMING_RE.search(out.stderr)
     if match is None:
         raise RuntimeError(
             f"no '# timing' footer in {binary} stderr:\n{out.stderr}")
+    bench_lines = parse_bench_lines(out.stderr)
+    if not bench_lines:
+        raise RuntimeError(
+            f"no '# bench' statistics line in {binary} stderr:\n{out.stderr}")
+    stats = bench_lines[0]
     return {
         "threads": int(match.group("threads")),
         "runs": int(match.group("runs")),
         "rounds": rounds,
         "wall_s": float(match.group("wall_s")),
+        "reps": stats.get("reps", reps),
+        "warmup": stats.get("warmup", warmup),
+        "median_s": stats.get("median_s"),
+        "mad_s": stats.get("mad_s"),
+        "min_s": stats.get("min_s"),
+        "max_s": stats.get("max_s"),
+        "mean_s": stats.get("mean_s"),
+        "cv": stats.get("cv"),
+        "stages": parse_profile_stages(out.stderr),
     }
 
 
@@ -108,12 +237,7 @@ def run_fig10_cache_leg(build_dir, runs, rounds, cache):
     if not footers:
         raise RuntimeError(
             f"no '# timing' footer in {binary} stderr:\n{out.stderr}")
-    stages = {}
-    for match in PROFILE_RE.finditer(out.stderr):
-        stages[match.group("stage")] = {
-            "count": int(match.group("count")),
-            "total_s": float(match.group("total_s")),
-        }
+    stages = parse_profile_stages(out.stderr)
     build_s = stages.get("experiment/build_scenario", {}).get("total_s", 0.0)
     build_s += stages.get("experiment/prepare_cache", {}).get("total_s", 0.0)
     return {
@@ -142,9 +266,14 @@ def main():
     parser.add_argument("--date",
                         help="snapshot date (default: today, UTC)")
     parser.add_argument("--runs", type=int, default=4,
-                        help="WSNQ_RUNS for the fig6 sweep")
+                        help="WSNQ_RUNS for the figure sweeps")
     parser.add_argument("--rounds", type=int, default=60,
-                        help="WSNQ_ROUNDS for the fig6 sweep")
+                        help="WSNQ_ROUNDS for the figure sweeps")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="measured repetitions per sweep (>= 3 gives "
+                             "bench_compare.py a usable MAD)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="unmeasured warmup repetitions per sweep")
     parser.add_argument("--out", help="output path (default BENCH_<date>.json)")
     args = parser.parse_args()
 
@@ -153,11 +282,15 @@ def main():
     out_path = args.out or f"BENCH_{date}.json"
 
     try:
+        metadata = collect_metadata(args.build_dir)
         micro = run_micro(args.build_dir)
-        fig6 = run_sweep(args.build_dir, "fig6_vary_n", args.runs,
-                         args.rounds)
-        loss = run_sweep(args.build_dir, "fig_loss_sweep", args.runs,
-                         args.rounds)
+        benches = {
+            "fig6": run_sweep(args.build_dir, "fig6_vary_n", args.runs,
+                              args.rounds, args.reps, args.warmup),
+            "loss_sweep": run_sweep(args.build_dir, "fig_loss_sweep",
+                                    args.runs, args.rounds, args.reps,
+                                    args.warmup),
+        }
         fig10 = run_fig10_cache_compare(args.build_dir, args.runs,
                                         args.rounds)
     except (OSError, subprocess.CalledProcessError, RuntimeError,
@@ -165,13 +298,14 @@ def main():
         print(f"bench_snapshot: {error}", file=sys.stderr)
         return 1
 
-    snapshot = {"date": date, "micro": micro, "fig6": fig6,
-                "loss_sweep": loss, "fig10_scenario_cache": fig10}
+    snapshot = {"schema": SCHEMA_VERSION, "date": date, "metadata": metadata,
+                "micro": micro, "benches": benches,
+                "fig10_scenario_cache": fig10}
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"wrote {out_path} (fig6 wall_s={fig6['wall_s']:.3f}, "
-          f"loss_sweep wall_s={loss['wall_s']:.3f}, "
+    print(f"wrote {out_path} (fig6 median_s={benches['fig6']['median_s']}, "
+          f"loss_sweep median_s={benches['loss_sweep']['median_s']}, "
           f"fig10 scenario-build speedup="
           f"{fig10['scenario_build_speedup']}x, "
           f"{len(micro['benchmarks'])} micro benchmarks)")

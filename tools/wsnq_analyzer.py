@@ -21,6 +21,10 @@ Rules
                    outside src/util/thread_pool.*; ad-hoc threads bypass
                    the deterministic fan-out/ordered-fold discipline.
                    (std::thread::id and std::this_thread are fine.)
+  ban-perf-syscall No perf_event_open / raw syscall() / perf_event_attr
+                   outside src/perf/ — the sole sanctioned home of
+                   hardware-counter plumbing (perf/counters.h), so the
+                   EPERM fallback and per-stage attribution stay uniform.
   unordered-iter   No iteration over std::unordered_map/unordered_set in
                    fold/aggregate/report/export/serialize paths — the
                    iteration order is implementation-defined, so anything
@@ -31,8 +35,11 @@ Rules
                    is not associative, so the sum depends on hash order.
   layering         First-party includes must respect the layer DAG
                    util <- net <- {data,fault} <- {algo,sketch} <- core
-                   <- {tests,tools,bench,examples}. A core -> bench or
-                   net -> core include is an error.
+                   <- {tests,tools,bench,examples}; perf sits beside the
+                   stack on util only (nothing under src/ may include
+                   perf/ back — measurement must observe, never shape,
+                   the simulation). A core -> bench or net -> core
+                   include is an error.
   bad-suppression  A `wsnq-analyzer: allow(...)` comment naming an unknown
                    rule or carrying no justification.
 
@@ -70,6 +77,7 @@ RULES = {
     "ban-clock": "raw clock read outside the sanctioned timing sites",
     "ban-seq-rng": "sequential RNG outside util/rng",
     "ban-raw-thread": "raw thread/async outside util/thread_pool",
+    "ban-perf-syscall": "perf_event_open / raw syscall outside src/perf",
     "unordered-iter": "unordered-container iteration in an output path",
     "fp-reduction": "order-sensitive FP reduction over unordered iteration",
     "layering": "include edge violates the layer DAG",
@@ -89,6 +97,7 @@ SANCTIONED = {
     "ban-clock": ("src/util/trace.cc", "src/util/thread_pool.cc", "bench/"),
     "ban-seq-rng": ("src/util/rng.h", "src/util/rng.cc"),
     "ban-raw-thread": ("src/util/thread_pool.h", "src/util/thread_pool.cc"),
+    "ban-perf-syscall": ("src/perf/",),
 }
 
 # Banned callees/types as ::-segment tuples, matched segment-for-segment
@@ -109,11 +118,18 @@ BAN_CALL_EXACT = {
     "ban-raw-thread": {
         ("pthread_create",), ("std", "async"),
     },
+    # `syscall` itself is banned: the only legitimate raw syscall in this
+    # tree is perf_event_open's (no glibc wrapper exists), and that lives
+    # in src/perf/counters.cc.
+    "ban-perf-syscall": {
+        ("perf_event_open",), ("syscall",),
+    },
 }
 BAN_TYPE_EXACT = {
     "ban-clock": set(),
     "ban-seq-rng": set(),
     "ban-raw-thread": {("std", "thread"), ("std", "jthread")},
+    "ban-perf-syscall": {("perf_event_attr",)},
 }
 BAN_SUFFIX = {
     "ban-clock": {
@@ -126,6 +142,7 @@ BAN_SUFFIX = {
         ("ranlux24",), ("ranlux48",), ("knuth_b",),
     },
     "ban-raw-thread": set(),
+    "ban-perf-syscall": set(),
 }
 BAN_MESSAGES = {
     "ban-clock": "raw clock read; time through prof::WallSeconds / "
@@ -137,12 +154,23 @@ BAN_MESSAGES = {
     "ban-raw-thread": "raw thread primitive; use wsnq::ThreadPool "
                       "(util/thread_pool.h) — ad-hoc threads bypass the "
                       "deterministic fan-out/ordered-fold discipline",
+    "ban-perf-syscall": "hardware-counter plumbing outside src/perf/; go "
+                        "through perf::CounterSet (perf/counters.h) so the "
+                        "EPERM fallback and per-stage attribution stay "
+                        "uniform",
 }
 
 # Layer DAG: which first-party include layers each source layer may use.
-SRC_LAYERS = ("util", "net", "data", "fault", "sketch", "algo", "core", "mc")
+SRC_LAYERS = ("util", "perf", "net", "data", "fault", "sketch", "algo",
+              "core", "mc")
 LAYER_ALLOWED: Dict[str, Set[str]] = {
     "util": {"util"},
+    # The measurement layer sits beside the stack: it observes through the
+    # prof::StageObserver seam in util/trace.h, and nothing under src/
+    # may include perf/ back (simulation results must not depend on how
+    # they are measured). bench/tests/tools reach it via the top-level
+    # rule below.
+    "perf": {"perf", "util"},
     "net": {"net", "util"},
     "data": {"data", "net", "util"},
     "fault": {"fault", "net", "util"},
@@ -454,7 +482,8 @@ def fallback_ban_findings(model: FileModel) -> List[Finding]:
             if not segs:
                 continue
             is_call = bool(re.match(r"\s*\(", line[m.end():]))
-            for rule in ("ban-clock", "ban-seq-rng", "ban-raw-thread"):
+            for rule in ("ban-clock", "ban-seq-rng", "ban-raw-thread",
+                         "ban-perf-syscall"):
                 if sanctioned(rule, model.rel) or (i, rule) in seen:
                     continue
                 candidates = [segs] + [

@@ -17,11 +17,18 @@ Rules
                     observe threads, they don't spawn them.)
   raw-clock         No std::chrono *_clock::now() outside src/util/trace.cc
                     (prof::WallSeconds), src/util/thread_pool.cc (per-worker
-                    spans), and bench/ (wall-clock sweep footers). Wall clock
+                    spans), src/perf/ (the measurement layer itself), and
+                    bench/ (wall-clock sweep footers). Wall clock
                     in simulation or protocol code would leak
                     non-determinism into results and traces; time through
                     prof::WallSeconds (util/trace.h) so profiling stays
                     gated and auditable.
+  perf-syscall      No perf_event_open / perf_event_attr / PERF_EVENT_IOC /
+                    <linux/perf_event.h> outside src/perf/ — the sole
+                    sanctioned home of hardware-counter plumbing
+                    (perf/counters.h). Scattered counter syscalls would
+                    bypass the graceful EPERM fallback and the per-stage
+                    attribution the perf observatory guarantees.
   const-cast        No const_cast or std::const_pointer_cast anywhere.
                     Scenario artifacts (radio graphs, traces, value sources)
                     are shared const across runs and sweep points by
@@ -173,8 +180,10 @@ def check_raw_clock(root: str) -> List[Finding]:
     findings = []
     allowed = {os.path.join("src", "util", "trace.cc"),
                os.path.join("src", "util", "thread_pool.cc")}
+    allowed_prefixes = ("bench" + os.sep,
+                        os.path.join("src", "perf") + os.sep)
     for rel in cxx_files(root):
-        if rel in allowed or rel.startswith("bench" + os.sep):
+        if rel in allowed or rel.startswith(allowed_prefixes):
             continue
         for i, raw in enumerate(read_lines(root, rel), start=1):
             if RAW_CLOCK_RE.search(strip_comments_and_strings(raw)):
@@ -232,6 +241,33 @@ def check_fault_rng(root: str) -> List[Finding]:
                     "(fault/fault_key.h), not a sequential wsnq::Rng "
                     "stream — draw order would break bit-identical "
                     "parallel fault injection"))
+    return findings
+
+
+# perf_event_open (direct or via syscall(__NR_/SYS_perf_event_open)),
+# the attr struct, the ioctl constants, and the kernel header itself. The
+# include form is matched against the raw line: <...> includes survive
+# literal-stripping, but keep the raw text so a "path" include can't hide.
+PERF_SYSCALL_RE = re.compile(
+    r"perf_event_open|perf_event_attr|PERF_EVENT_IOC|PERF_COUNT_")
+PERF_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]linux/perf_event\.h[>"]')
+
+
+def check_perf_syscall(root: str) -> List[Finding]:
+    findings = []
+    perf_dir = os.path.join("src", "perf") + os.sep
+    for rel in cxx_files(root):
+        if rel.startswith(perf_dir):
+            continue  # the sanctioned measurement layer (perf/counters.h)
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if (PERF_SYSCALL_RE.search(strip_comments_and_strings(raw))
+                    or PERF_INCLUDE_RE.search(raw.split("//", 1)[0])):
+                findings.append(Finding(
+                    rel, i, "perf-syscall",
+                    "hardware counters go through perf::CounterSet "
+                    "(perf/counters.h) — src/perf/ is the sole sanctioned "
+                    "home of perf_event_open, so EPERM fallback and "
+                    "per-stage attribution stay uniform"))
     return findings
 
 
@@ -325,6 +361,7 @@ CHECKS = [
     check_raw_clock,
     check_const_cast,
     check_fault_rng,
+    check_perf_syscall,
     check_test_coverage,
     check_include_guard,
     check_tracked_build,

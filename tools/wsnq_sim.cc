@@ -47,6 +47,7 @@
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "fault/fault_cli.h"
+#include "perf/stage_collector.h"
 #include "util/flags.h"
 #include "util/mutex.h"
 #include "util/trace.h"
@@ -225,7 +226,14 @@ int main(int argc, char** argv) {
     kinds.push_back(kind.value());
   }
 
-  if (!profile_path.empty()) prof::Enable();
+  if (!profile_path.empty()) {
+    prof::Enable();
+    // Attach hardware-counter / allocation accounting to the prof:: spans
+    // (src/perf/stage_collector.h); the status line reports whether this
+    // host grants perf_event_open. Stderr only — stdout stays
+    // deterministic.
+    std::fprintf(stderr, "%s\n", perf::InstallStageCollector().c_str());
+  }
   if (!trace_path.empty()) {
     if (!trace::CompiledIn()) {
       std::fprintf(stderr,
