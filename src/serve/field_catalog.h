@@ -1,0 +1,41 @@
+// Named sensor fields: the subscription namespace of the serving daemon.
+//
+// A field name is any 1..255-byte string; the catalog maps it
+// deterministically onto a synthetic-workload SimulationConfig derived
+// from the server's base config. The mapping varies only the *workload*
+// slice (sinusoid period, noise magnitude, amplitude) by a stable 64-bit
+// hash of the name and keeps the deployment slice (seed, node count,
+// area, radio range) identical, so every field shares one placement /
+// radio graph / routing tree through the ScenarioCache
+// (core/scenario_cache.h key grammar: the syn-deploy key excludes the
+// workload parameters) while still producing a distinct measurement
+// stream. Resolution is a pure function — the same (base config, name)
+// pair yields the same config on every shard of every server, which is
+// one half of the byte-identical answer contract (docs/serving.md).
+
+#ifndef WSNQ_SERVE_FIELD_CATALOG_H_
+#define WSNQ_SERVE_FIELD_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+
+namespace wsnq {
+namespace serve {
+
+/// Stable FNV-1a 64-bit hash of `name` (the catalog's only source of
+/// per-field variation; exposed for tests).
+uint64_t FieldHash(const std::string& name);
+
+/// Deterministically resolves `name` to the simulation config backing its
+/// quantile streams. `base` supplies the deployment slice and defaults;
+/// the returned config differs from it only in the synthetic-workload
+/// parameters, all derived from FieldHash(name).
+SimulationConfig ResolveField(const SimulationConfig& base,
+                              const std::string& name);
+
+}  // namespace serve
+}  // namespace wsnq
+
+#endif  // WSNQ_SERVE_FIELD_CATALOG_H_

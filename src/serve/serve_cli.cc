@@ -1,0 +1,68 @@
+#include "serve/serve_cli.h"
+
+namespace wsnq {
+namespace serve {
+
+Status ValidateServedFlags(const ServedConfig& config,
+                           const ServedFlagPresence& present) {
+  if (config.port < 0 || config.port > 65535) {
+    return Status::InvalidArgument(
+        "--port must be in [0, 65535] (0 binds an ephemeral port)");
+  }
+  if (config.shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  if (config.threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  if (config.max_subs < 1) {
+    return Status::InvalidArgument("--max-subs must be >= 1");
+  }
+  if (!(config.rounds_per_sec > 0.0)) {
+    return Status::InvalidArgument("--rounds-per-sec must be > 0");
+  }
+  if (config.max_rounds < 0) {
+    return Status::InvalidArgument("--max-rounds must be >= 0");
+  }
+  // A shard count above the worker count is legal (shards queue on the
+  // pool), but the reverse asymmetry is the common typo: threads that can
+  // never be used. Only flag it when both were explicitly given.
+  if (present.shards && present.threads && config.threads > config.shards) {
+    return Status::InvalidArgument(
+        "--threads exceeds --shards: extra workers would be idle (use at "
+        "least as many shards as threads)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateLoadgenFlags(const LoadgenConfig& config,
+                            const LoadgenFlagPresence& present) {
+  if (!present.port) {
+    return Status::InvalidArgument("--port is required (the daemon's port)");
+  }
+  if (config.port < 1 || config.port > 65535) {
+    return Status::InvalidArgument("--port must be in [1, 65535]");
+  }
+  if (config.subs < 1) {
+    return Status::InvalidArgument("--subs must be >= 1");
+  }
+  if (config.connections < 1 ||
+      static_cast<int64_t>(config.connections) > config.subs) {
+    return Status::InvalidArgument(
+        "--connections must be in [1, --subs]: every connection needs at "
+        "least one subscription");
+  }
+  if (config.fields < 1) {
+    return Status::InvalidArgument("--fields must be >= 1");
+  }
+  if (config.rounds < 1) {
+    return Status::InvalidArgument("--rounds must be >= 1");
+  }
+  if (config.seed < 0) {
+    return Status::InvalidArgument("--seed must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace wsnq

@@ -1,0 +1,69 @@
+// Validation of the serving CLI flag surfaces (tools/wsnq_served.cc and
+// tools/wsnq_loadgen.cc), in the style of fault/fault_cli.h: the tools
+// map --flags straight onto these structs, then call the validators and
+// exit 2 with the one-line reason on any violation, so misconfigurations
+// fail at flag-parse time with an actionable message instead of a daemon
+// that silently idles or a load test that measures nothing.
+
+#ifndef WSNQ_SERVE_SERVE_CLI_H_
+#define WSNQ_SERVE_SERVE_CLI_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace wsnq {
+namespace serve {
+
+/// Flag surface of wsnq_served.
+struct ServedConfig {
+  int port = 0;                 ///< 0 = ephemeral (printed at startup)
+  int shards = 1;
+  int threads = 1;
+  int64_t max_subs = 1 << 20;
+  double rounds_per_sec = 20.0;
+  int64_t max_rounds = 0;       ///< 0 = run until SIGINT/SIGTERM
+};
+
+/// Which wsnq_served flags the user actually typed (FlagParser::Has).
+struct ServedFlagPresence {
+  bool port = false;
+  bool shards = false;
+  bool threads = false;
+  bool max_subs = false;
+  bool rounds_per_sec = false;
+  bool max_rounds = false;
+};
+
+/// OK iff the daemon flag combination is serveable. Every violation is an
+/// InvalidArgument whose message names the offending flag.
+Status ValidateServedFlags(const ServedConfig& config,
+                           const ServedFlagPresence& present);
+
+/// Flag surface of wsnq_loadgen.
+struct LoadgenConfig {
+  int port = 0;          ///< required: the daemon's port
+  int64_t subs = 1000;   ///< simulated subscribers (subscriptions)
+  int connections = 8;   ///< TCP connections the subs multiplex over
+  int fields = 16;       ///< distinct field names to spread subs across
+  int64_t rounds = 10;   ///< answer rounds to observe before reporting
+  int64_t seed = 1;      ///< deterministic field/rank assignment
+};
+
+/// Which wsnq_loadgen flags the user actually typed.
+struct LoadgenFlagPresence {
+  bool port = false;
+  bool subs = false;
+  bool connections = false;
+  bool fields = false;
+  bool rounds = false;
+  bool seed = false;
+};
+
+Status ValidateLoadgenFlags(const LoadgenConfig& config,
+                            const LoadgenFlagPresence& present);
+
+}  // namespace serve
+}  // namespace wsnq
+
+#endif  // WSNQ_SERVE_SERVE_CLI_H_

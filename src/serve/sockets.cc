@@ -1,0 +1,149 @@
+#include "serve/sockets.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace wsnq {
+namespace serve {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best-effort: latency measurements want no Nagle batching, but a
+  // failure here is not fatal.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(int port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int UniqueFd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) close(fd_);
+  fd_ = fd;
+}
+
+StatusOr<int> ListenLoopback(int port) {
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (listen(fd.get(), 1024) < 0) return Errno("listen");
+  Status status = SetNonBlocking(fd.get());
+  if (!status.ok()) return status;
+  return fd.release();
+}
+
+StatusOr<int> BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+StatusOr<int> AcceptConnection(int listen_fd) {
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotFound("no pending connection");
+    }
+    return Errno("accept");
+  }
+  UniqueFd owned(fd);
+  Status status = SetNonBlocking(fd);
+  if (!status.ok()) return status;
+  SetNoDelay(fd);
+  return owned.release();
+}
+
+StatusOr<int> ConnectLoopback(int port) {
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  Status status = SetNonBlocking(fd.get());
+  if (!status.ok()) return status;
+  SetNoDelay(fd.get());
+  sockaddr_in addr = LoopbackAddr(port);
+  if (connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 &&
+      errno != EINPROGRESS) {
+    return Errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return fd.release();
+}
+
+StatusOr<int64_t> ReadFd(int fd, uint8_t* buf, int64_t len) {
+  for (;;) {
+    const ssize_t n = read(fd, buf, static_cast<size_t>(len));
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return Errno("read");
+  }
+}
+
+StatusOr<int64_t> WriteFd(int fd, const uint8_t* buf, int64_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write surfaces as EPIPE, not
+    // a process-killing SIGPIPE.
+    const ssize_t n =
+        send(fd, buf, static_cast<size_t>(len), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::NotFound("peer closed the connection");
+    }
+    return Errno("write");
+  }
+}
+
+}  // namespace serve
+}  // namespace wsnq

@@ -1,0 +1,65 @@
+// Thin loopback-socket helpers shared by the server, the client library,
+// and nothing else: every raw socket / poll syscall in the tree lives
+// under src/serve/ (enforced by the serve-syscall lint rule in
+// tools/wsnq_lint.py), so the simulation core stays transport-free.
+//
+// All sockets are non-blocking TCP over 127.0.0.1 — the daemon serves
+// loopback clients (loadgen, smoke tests); nothing here does name
+// resolution or TLS.
+
+#ifndef WSNQ_SERVE_SOCKETS_H_
+#define WSNQ_SERVE_SOCKETS_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace wsnq {
+namespace serve {
+
+/// Owning file descriptor: closes on destruction, moves, never copies.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking listener on 127.0.0.1:`port` (0 = ephemeral)
+/// with SO_REUSEADDR; returns the fd.
+StatusOr<int> ListenLoopback(int port);
+
+/// The locally bound port of a socket (resolves ephemeral binds).
+StatusOr<int> BoundPort(int fd);
+
+/// Accepts one pending connection from a non-blocking listener as a
+/// non-blocking TCP_NODELAY socket. NotFound when none is pending.
+StatusOr<int> AcceptConnection(int listen_fd);
+
+/// Opens a non-blocking TCP_NODELAY connection to 127.0.0.1:`port`;
+/// in-progress connects are fine (first poll completes them).
+StatusOr<int> ConnectLoopback(int port);
+
+/// Reads into `buf`; >0 bytes, 0 on orderly EOF, -1 when the read would
+/// block. Hard errors come back as a Status.
+StatusOr<int64_t> ReadFd(int fd, uint8_t* buf, int64_t len);
+
+/// Writes a prefix of `buf`; >=0 bytes written (-1 for would-block).
+StatusOr<int64_t> WriteFd(int fd, const uint8_t* buf, int64_t len);
+
+}  // namespace serve
+}  // namespace wsnq
+
+#endif  // WSNQ_SERVE_SOCKETS_H_

@@ -1,0 +1,267 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace wsnq {
+namespace serve {
+namespace {
+
+/// Byte-wise CRC-32 table for the reflected IEEE polynomial, built once.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const Crc32Table& table = Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool IsClientOpcode(uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kSubscribe:
+    case Opcode::kUnsubscribe:
+    case Opcode::kPing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendI64(int64_t v, std::vector<uint8_t>* out) {
+  AppendU64(static_cast<uint64_t>(v), out);
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+int64_t ReadI64(const uint8_t* p) {
+  return static_cast<int64_t>(ReadU64(p));
+}
+
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  const size_t body_len = kBodyMinBytes + frame.payload.size();
+  WSNQ_CHECK_LE(body_len, kMaxBodyBytes);
+  AppendU32(static_cast<uint32_t>(body_len), out);
+  const size_t body_start = out->size();
+  AppendU64(frame.request_id, out);
+  out->push_back(frame.opcode);
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+  AppendU32(Crc32(out->data() + body_start, body_len), out);
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kLenPrefixBytes + kBodyMinBytes + frame.payload.size() +
+              kCrcBytes);
+  AppendFrame(frame, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeSubscribePayload(const SubscribeRequest& req) {
+  WSNQ_CHECK_LE(req.field.size(), kMaxFieldBytes);
+  std::vector<uint8_t> out;
+  AppendU16(static_cast<uint16_t>(req.field.size()), &out);
+  out.insert(out.end(), req.field.begin(), req.field.end());
+  AppendU32(req.rank_permille, &out);
+  return out;
+}
+
+StatusOr<SubscribeRequest> DecodeSubscribePayload(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() < 2) {
+    return Status::InvalidArgument("SUBSCRIBE payload shorter than the "
+                                   "field length prefix");
+  }
+  const size_t field_len = ReadU16(payload.data());
+  if (field_len == 0 || field_len > kMaxFieldBytes) {
+    return Status::InvalidArgument("SUBSCRIBE field length out of [1, 255]");
+  }
+  if (payload.size() != 2 + field_len + 4) {
+    return Status::InvalidArgument("SUBSCRIBE payload size does not match "
+                                   "its field length prefix");
+  }
+  SubscribeRequest req;
+  req.field.assign(reinterpret_cast<const char*>(payload.data() + 2),
+                   field_len);
+  req.rank_permille = ReadU32(payload.data() + 2 + field_len);
+  if (req.rank_permille < 1 || req.rank_permille > 1000) {
+    return Status::InvalidArgument("SUBSCRIBE rank out of [1, 1000] "
+                                   "permille");
+  }
+  return req;
+}
+
+std::vector<uint8_t> EncodeSubscribeAckPayload(const SubscribeAck& ack) {
+  std::vector<uint8_t> out;
+  AppendU64(ack.sub_id, &out);
+  AppendI64(ack.rank, &out);
+  AppendI64(ack.round, &out);
+  return out;
+}
+
+StatusOr<SubscribeAck> DecodeSubscribeAckPayload(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() != 24) {
+    return Status::InvalidArgument("SUBSCRIBE_ACK payload must be 24 bytes");
+  }
+  SubscribeAck ack;
+  ack.sub_id = ReadU64(payload.data());
+  ack.rank = ReadI64(payload.data() + 8);
+  ack.round = ReadI64(payload.data() + 16);
+  return ack;
+}
+
+std::vector<uint8_t> EncodeSubIdPayload(uint64_t sub_id) {
+  std::vector<uint8_t> out;
+  AppendU64(sub_id, &out);
+  return out;
+}
+
+StatusOr<uint64_t> DecodeSubIdPayload(const std::vector<uint8_t>& payload) {
+  if (payload.size() != 8) {
+    return Status::InvalidArgument("subscription-id payload must be 8 bytes");
+  }
+  return ReadU64(payload.data());
+}
+
+std::vector<uint8_t> EncodeAnswerPayload(const AnswerPush& answer) {
+  std::vector<uint8_t> out;
+  AppendU64(answer.sub_id, &out);
+  AppendI64(answer.round, &out);
+  AppendI64(answer.value, &out);
+  return out;
+}
+
+StatusOr<AnswerPush> DecodeAnswerPayload(const std::vector<uint8_t>& payload) {
+  if (payload.size() != 24) {
+    return Status::InvalidArgument("ANSWER payload must be 24 bytes");
+  }
+  AnswerPush answer;
+  answer.sub_id = ReadU64(payload.data());
+  answer.round = ReadI64(payload.data() + 8);
+  answer.value = ReadI64(payload.data() + 16);
+  return answer;
+}
+
+std::vector<uint8_t> EncodeErrorPayload(const std::string& message) {
+  std::vector<uint8_t> out;
+  const size_t len = message.size() > 0xFFFF ? 0xFFFF : message.size();
+  AppendU16(static_cast<uint16_t>(len), &out);
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(message.data());
+  out.insert(out.end(), data, data + len);
+  return out;
+}
+
+StatusOr<std::string> DecodeErrorPayload(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 2 ||
+      payload.size() != 2 + static_cast<size_t>(ReadU16(payload.data()))) {
+    return Status::InvalidArgument("ERROR payload size does not match its "
+                                   "length prefix");
+  }
+  return std::string(reinterpret_cast<const char*>(payload.data() + 2),
+                     payload.size() - 2);
+}
+
+void FrameReader::Feed(const uint8_t* data, size_t len) {
+  if (malformed_) return;  // stream already condemned; drop the bytes
+  // Compact the decoded prefix before growing (amortized O(1) per byte).
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+ReadResult FrameReader::Next(Frame* frame, std::string* error) {
+  if (malformed_) {
+    if (error != nullptr) *error = "stream already malformed";
+    return ReadResult::kMalformed;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kLenPrefixBytes) return ReadResult::kNeedMore;
+  const uint8_t* p = buffer_.data() + consumed_;
+  const size_t body_len = ReadU32(p);
+  if (body_len < kBodyMinBytes || body_len > kMaxBodyBytes) {
+    malformed_ = true;
+    if (error != nullptr) {
+      *error = body_len < kBodyMinBytes
+                   ? "frame length below the 9-byte body minimum"
+                   : "frame length above the 1 MiB body cap";
+    }
+    return ReadResult::kMalformed;
+  }
+  const size_t total = kLenPrefixBytes + body_len + kCrcBytes;
+  if (avail < total) return ReadResult::kNeedMore;
+  const uint8_t* body = p + kLenPrefixBytes;
+  const uint32_t want_crc = ReadU32(body + body_len);
+  const uint32_t got_crc = Crc32(body, body_len);
+  if (want_crc != got_crc) {
+    malformed_ = true;
+    if (error != nullptr) *error = "frame CRC mismatch";
+    return ReadResult::kMalformed;
+  }
+  frame->request_id = ReadU64(body);
+  frame->opcode = body[8];
+  frame->payload.assign(body + kBodyMinBytes, body + body_len);
+  consumed_ += total;
+  return ReadResult::kFrame;
+}
+
+}  // namespace serve
+}  // namespace wsnq

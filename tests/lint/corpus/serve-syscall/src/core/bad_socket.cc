@@ -1,0 +1,22 @@
+// wsnq-lint corpus: serve-syscall. Socket plumbing outside src/serve/
+// drags transport concerns into the simulation core. NOT compiled.
+
+#include <sys/socket.h>  // lint-expect: serve-syscall
+#include <poll.h>  // lint-expect: serve-syscall
+
+int OpenControlPort(int port) {
+  int fd = socket(2, 1, 0);  // lint-expect: serve-syscall
+  bind(fd, nullptr, 0);  // lint-expect: serve-syscall
+  listen(fd, 16);  // lint-expect: serve-syscall
+  pollfd pfd = {fd, 1, 0};
+  poll(&pfd, 1, 100);  // lint-expect: serve-syscall
+  return accept(fd, nullptr, nullptr);  // lint-expect: serve-syscall
+}
+
+// Negative bait: prose and strings naming the syscalls must not fire.
+// The daemon ultimately calls socket(2)/poll(2), see docs/serving.md.
+const char* kHint = "poll(2) loop lives in serve/server.cc";
+// Identifiers that merely contain the tokens must not fire either:
+int PollOnce(int timeout_ms);
+void SendToParent(int v, long value);
+int resend(int attempt);

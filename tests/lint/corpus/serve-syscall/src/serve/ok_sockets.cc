@@ -1,0 +1,14 @@
+// wsnq-lint corpus: src/serve/ is the sanctioned transport layer
+// (serve/sockets.h). No findings expected here.
+
+#include <poll.h>
+#include <sys/socket.h>
+
+int ListenAnywhere() {
+  int fd = socket(2, 1, 0);
+  bind(fd, nullptr, 0);
+  listen(fd, 1024);
+  pollfd pfd = {fd, 1, 0};
+  poll(&pfd, 1, 0);
+  return fd;
+}

@@ -1,0 +1,10 @@
+// wsnq-lint corpus: serve-syscall. Tools must reach the daemon through
+// serve/client.h, never raw sockets. NOT compiled.
+
+#include <netinet/tcp.h>  // lint-expect: serve-syscall
+
+int Probe(int fd) {
+  char buf[16];
+  recv(fd, buf, sizeof(buf), 0);  // lint-expect: serve-syscall
+  return send(fd, buf, sizeof(buf), 0);  // lint-expect: serve-syscall
+}

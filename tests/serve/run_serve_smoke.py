@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""End-to-end serving smoke: wsnq_served + wsnq_loadgen over loopback.
+
+Starts the daemon on an ephemeral port, drives the load generator against
+it, and asserts:
+  * every subscription is acked and every observed round delivers every
+    push (loadgen exits 0 and prints ok=1 with clean p50/p99 numbers);
+  * the daemon shuts down cleanly on SIGTERM (exit 0) with zero protocol
+    errors on its "# served" stats line;
+  * the coalescing contract held: backend stream-rounds are bounded by
+    fields * rounds, not subscriptions * rounds.
+
+Used as the `serve_smoke_test` ctest leg (1k subscribers) and by the CI
+serve-smoke job at higher subscriber counts.
+"""
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+
+
+def parse_kv_line(line, tag):
+    """Parses '# <tag> key=value ...' into a dict of strings."""
+    parts = line.strip().split()
+    if len(parts) < 2 or parts[0] != "#" or parts[1] != tag:
+        return None
+    out = {}
+    for token in parts[2:]:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            out[key] = value
+    return out
+
+
+def fail(msg, served=None):
+    if served is not None and served.poll() is None:
+        served.kill()
+    print("FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--served", required=True)
+    parser.add_argument("--loadgen", required=True)
+    parser.add_argument("--subs", type=int, default=1000)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--fields", type=int, default=16)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--rounds-per-sec", type=float, default=50.0)
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--timeout-sec", type=float, default=180.0)
+    args = parser.parse_args()
+
+    served = subprocess.Popen(
+        [
+            args.served,
+            "--port=0",
+            "--shards=%d" % args.shards,
+            "--threads=%d" % args.threads,
+            "--nodes=%d" % args.nodes,
+            "--rounds-per-sec=%g" % args.rounds_per_sec,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+    # The daemon announces its bound port on the first stdout line.
+    startup = served.stdout.readline()
+    banner = parse_kv_line(startup, "wsnq_served")
+    if banner is None or "port" not in banner:
+        fail("missing startup banner, got: %r" % startup, served)
+    port = int(banner["port"])
+    print("daemon up on port %d" % port)
+
+    loadgen = subprocess.run(
+        [
+            args.loadgen,
+            "--port=%d" % port,
+            "--subs=%d" % args.subs,
+            "--connections=%d" % args.connections,
+            "--fields=%d" % args.fields,
+            "--rounds=%d" % args.rounds,
+            "--timeout-sec=%g" % args.timeout_sec,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=args.timeout_sec + 60,
+    )
+    sys.stdout.write(loadgen.stdout)
+    sys.stderr.write(loadgen.stderr)
+    if loadgen.returncode != 0:
+        fail("loadgen exited %d" % loadgen.returncode, served)
+
+    report = None
+    for line in loadgen.stdout.splitlines():
+        report = report or parse_kv_line(line, "loadgen")
+    if report is None:
+        fail("loadgen printed no '# loadgen' report line", served)
+    if report.get("ok") != "1" or report.get("errors") != "0":
+        fail("loadgen reported errors: %r" % report, served)
+    if int(report["acks"]) != args.subs:
+        fail("acks=%s != subs=%d" % (report["acks"], args.subs), served)
+    if int(report["rounds_observed"]) < args.rounds:
+        fail("observed %s rounds < %d" % (report["rounds_observed"],
+                                          args.rounds), served)
+    for key in ("ack_p50_ms", "ack_p99_ms", "push_p50_ms", "push_p99_ms",
+                "pushes_per_sec"):
+        value = float(report[key])
+        if value < 0.0:
+            fail("%s=%g is negative" % (key, value), served)
+    if float(report["pushes_per_sec"]) <= 0.0:
+        fail("no sustained push throughput", served)
+
+    served.send_signal(signal.SIGTERM)
+    try:
+        out, err = served.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        fail("daemon ignored SIGTERM", served)
+    sys.stdout.write(out)
+    sys.stderr.write(err)
+    if served.returncode != 0:
+        fail("daemon exited %d" % served.returncode)
+
+    stats = None
+    for line in out.splitlines():
+        stats = stats or parse_kv_line(line, "served")
+    if stats is None:
+        fail("daemon printed no '# served' stats line")
+    if stats.get("errors") != "0":
+        fail("daemon reported errors: %r" % stats)
+    if stats.get("protocol_closes") != "0":
+        fail("protocol closes during a clean run: %r" % stats)
+    if int(stats["subscribes"]) != args.subs:
+        fail("daemon saw %s subscribes, expected %d" % (stats["subscribes"],
+                                                        args.subs))
+    # Coalescing: stream-rounds scale with fields, never with subscribers.
+    rounds = int(stats["rounds"])
+    backend_rounds = int(stats["backend_rounds"])
+    if backend_rounds > args.fields * rounds:
+        fail("backend_rounds=%d exceeds fields*rounds=%d — coalescing "
+             "broken" % (backend_rounds, args.fields * rounds))
+
+    print("PASS: %d subscribers, %s rounds, push p50=%sms p99=%sms, "
+          "%s pushes/sec" % (args.subs, report["rounds_observed"],
+                             report["push_p50_ms"], report["push_p99_ms"],
+                             report["pushes_per_sec"]))
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Records a performance snapshot of the tree as BENCH_<date>.json (schema 2).
 
-Four measurements, deliberately cheap enough to run on every perf-relevant
+Five measurements, deliberately cheap enough to run on every perf-relevant
 PR (a couple of minutes on one core):
 
   * the micro primitive benchmarks (build/bench/micro_primitives,
@@ -19,7 +19,14 @@ PR (a couple of minutes on one core):
     scenario-construction seconds (experiment/build_scenario plus, cached,
     experiment/prepare_cache) and total wall clock for both, with the
     cache-off/cache-on construction ratio recorded as the speedup the
-    scenario cache (core/scenario_cache.h) is buying.
+    scenario cache (core/scenario_cache.h) is buying;
+  * one serving-latency run (build/tools/wsnq_served + wsnq_loadgen over
+    loopback at --serve-subs concurrent subscriptions, default 100k) —
+    subscribe-ack and round-push p50/p99 plus push throughput for the
+    continuous-serving path, recorded as a top-level "serve" section that
+    bench_compare.py deliberately ignores (loopback latency is too
+    machine-sensitive for the k·MAD gate; the numbers are for humans
+    reading snapshot history). --serve-subs=0 skips the section.
 
 Schema 2 additions over the historical v1 snapshots:
 
@@ -56,6 +63,7 @@ import json
 import os
 import platform
 import re
+import signal
 import subprocess
 import sys
 
@@ -258,6 +266,60 @@ def run_fig10_cache_compare(build_dir, runs, rounds):
             "scenario_build_speedup": round(speedup, 2) if speedup else None}
 
 
+def parse_tagged_line(text, tag):
+    """Returns the parsed fields of the last '# <tag> key=value ...' line."""
+    fields = None
+    for line in text.splitlines():
+        if line.startswith(f"# {tag} "):
+            fields = parse_kv_line(line)
+    return fields
+
+
+def run_serve(build_dir, subs, connections, fields, rounds, shards, threads):
+    """Runs the serving daemon + load generator and records the push path.
+
+    Starts wsnq_served on an ephemeral port, drives wsnq_loadgen at the
+    requested subscriber count, and returns the loadgen latency report
+    (subscribe-ack and round-push p50/p99, pushes/sec) together with the
+    daemon's own "# served" shutdown stats (coalesced backend rounds,
+    convergecasts, byte counters). The serving stack is wall-clock
+    sensitive by design — these are latency figures, not medians over
+    reps — so bench_compare.py deliberately ignores this section (it
+    diffs only "benches")."""
+    served_bin = os.path.join(build_dir, "tools", "wsnq_served")
+    loadgen_bin = os.path.join(build_dir, "tools", "wsnq_loadgen")
+    served = subprocess.Popen(
+        [served_bin, "--port=0", f"--shards={shards}", f"--threads={threads}",
+         "--nodes=64", "--rounds-per-sec=20"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        banner = parse_kv_line(served.stdout.readline())
+        if "port" not in banner:
+            raise RuntimeError("wsnq_served printed no startup banner")
+        loadgen = subprocess.run(
+            [loadgen_bin, f"--port={banner['port']}", f"--subs={subs}",
+             f"--connections={connections}", f"--fields={fields}",
+             f"--rounds={rounds}", "--timeout-sec=300"],
+            check=True, capture_output=True, text=True, timeout=360)
+        report = parse_tagged_line(loadgen.stdout, "loadgen")
+        if report is None:
+            raise RuntimeError("wsnq_loadgen printed no '# loadgen' report")
+        served.send_signal(signal.SIGTERM)
+        out, _ = served.communicate(timeout=30)
+        if served.returncode != 0:
+            raise RuntimeError(f"wsnq_served exited {served.returncode}")
+        stats = parse_tagged_line(out, "served")
+        if stats is None:
+            raise RuntimeError("wsnq_served printed no '# served' stats")
+        if report.get("ok") != 1 or report.get("errors") != 0:
+            raise RuntimeError(f"loadgen reported errors: {report}")
+        return {"shards": shards, "threads": threads, "loadgen": report,
+                "daemon": stats}
+    finally:
+        if served.poll() is None:
+            served.kill()
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Write a BENCH_<date>.json performance snapshot.")
@@ -275,6 +337,21 @@ def main():
     parser.add_argument("--warmup", type=int, default=1,
                         help="unmeasured warmup repetitions per sweep")
     parser.add_argument("--out", help="output path (default BENCH_<date>.json)")
+    parser.add_argument("--serve-subs", type=int, default=100000,
+                        help="concurrent subscriptions for the serving "
+                             "latency section (0 skips it)")
+    parser.add_argument("--serve-connections", type=int, default=64,
+                        help="client connections the subscriptions are "
+                             "multiplexed over")
+    parser.add_argument("--serve-fields", type=int, default=16,
+                        help="distinct quantile fields (backend streams)")
+    parser.add_argument("--serve-rounds", type=int, default=5,
+                        help="complete push rounds the load generator waits "
+                             "for")
+    parser.add_argument("--serve-shards", type=int, default=4,
+                        help="daemon --shards for the serving section")
+    parser.add_argument("--serve-threads", type=int, default=4,
+                        help="daemon --threads for the serving section")
     args = parser.parse_args()
 
     date = args.date or datetime.datetime.now(
@@ -293,22 +370,36 @@ def main():
         }
         fig10 = run_fig10_cache_compare(args.build_dir, args.runs,
                                         args.rounds)
-    except (OSError, subprocess.CalledProcessError, RuntimeError,
-            json.JSONDecodeError, KeyError) as error:
+        serve = None
+        if args.serve_subs > 0:
+            serve = run_serve(args.build_dir, args.serve_subs,
+                              args.serve_connections, args.serve_fields,
+                              args.serve_rounds, args.serve_shards,
+                              args.serve_threads)
+    except (OSError, subprocess.CalledProcessError,
+            subprocess.TimeoutExpired, RuntimeError, json.JSONDecodeError,
+            KeyError, TypeError) as error:
         print(f"bench_snapshot: {error}", file=sys.stderr)
         return 1
 
     snapshot = {"schema": SCHEMA_VERSION, "date": date, "metadata": metadata,
                 "micro": micro, "benches": benches,
                 "fig10_scenario_cache": fig10}
+    if serve is not None:
+        snapshot["serve"] = serve
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)
         f.write("\n")
+    serve_note = ""
+    if serve is not None:
+        serve_note = (f", serve {serve['loadgen']['subs']} subs "
+                      f"push p50={serve['loadgen']['push_p50_ms']}ms "
+                      f"p99={serve['loadgen']['push_p99_ms']}ms")
     print(f"wrote {out_path} (fig6 median_s={benches['fig6']['median_s']}, "
           f"loss_sweep median_s={benches['loss_sweep']['median_s']}, "
           f"fig10 scenario-build speedup="
           f"{fig10['scenario_build_speedup']}x, "
-          f"{len(micro['benchmarks'])} micro benchmarks)")
+          f"{len(micro['benchmarks'])} micro benchmarks{serve_note})")
     return 0
 
 

@@ -162,7 +162,7 @@ BAN_MESSAGES = {
 
 # Layer DAG: which first-party include layers each source layer may use.
 SRC_LAYERS = ("util", "perf", "net", "data", "fault", "sketch", "algo",
-              "core", "mc")
+              "core", "mc", "serve")
 LAYER_ALLOWED: Dict[str, Set[str]] = {
     "util": {"util"},
     # The measurement layer sits beside the stack: it observes through the
@@ -183,6 +183,13 @@ LAYER_ALLOWED: Dict[str, Set[str]] = {
     # src/ may include mc/ back (the checker must observe, never shape, the
     # production stack).
     "mc": {"mc", "core", "algo", "sketch", "data", "fault", "net", "util"},
+    # The serving daemon also sits on top of the stack: it drives the
+    # simulator through core/scenario + algo/multi_quantile, and nothing
+    # under src/ may include serve/ back (the simulation must stay
+    # transport-free; sockets are a serve-only concern, see the
+    # serve-syscall lint rule).
+    "serve": {"serve", "core", "algo", "sketch", "data", "fault", "net",
+              "util", "perf"},
 }
 for _top in ("tests", "tools", "bench", "examples"):
     LAYER_ALLOWED[_top] = set(SRC_LAYERS) | {_top}

@@ -271,6 +271,34 @@ def check_perf_syscall(root: str) -> List[Finding]:
     return findings
 
 
+SERVE_SYSCALL_RE = re.compile(
+    r"\b(socket|bind|listen|accept4?|connect|poll|ppoll|select|"
+    r"epoll_create1?|epoll_ctl|epoll_wait|recv|recvmsg|recvfrom|send|"
+    r"sendmsg|sendto|setsockopt|getsockopt|getsockname|shutdown)\s*\(")
+SERVE_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](sys/socket\.h|sys/epoll\.h|sys/select\.h|'
+    r'poll\.h|netinet/[a-z_]+\.h|arpa/inet\.h)[>"]')
+
+
+def check_serve_syscall(root: str) -> List[Finding]:
+    findings = []
+    serve_dir = os.path.join("src", "serve") + os.sep
+    for rel in cxx_files(root):
+        if rel.startswith(serve_dir):
+            continue  # the sanctioned transport layer (serve/sockets.h)
+        for i, raw in enumerate(read_lines(root, rel), start=1):
+            if (SERVE_SYSCALL_RE.search(strip_comments_and_strings(raw))
+                    or SERVE_INCLUDE_RE.search(raw.split("//", 1)[0])):
+                findings.append(Finding(
+                    rel, i, "serve-syscall",
+                    "socket/poll syscalls are confined to src/serve/ "
+                    "(serve/sockets.h, serve/server.h, serve/client.h) — "
+                    "the simulation core, tools, and tests stay "
+                    "transport-free so the backend is testable without a "
+                    "network"))
+    return findings
+
+
 def check_test_coverage(root: str) -> List[Finding]:
     findings = []
     cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
@@ -362,6 +390,7 @@ CHECKS = [
     check_const_cast,
     check_fault_rng,
     check_perf_syscall,
+    check_serve_syscall,
     check_test_coverage,
     check_include_guard,
     check_tracked_build,
