@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "algo/iq.h"
@@ -13,6 +14,7 @@
 #include "core/scenario.h"
 #include "bench/bench_common.h"
 #include "core/experiment.h"
+#include "net/wave.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -34,13 +36,26 @@ int main(int argc, char** argv) {
     double indep_energy = 0.0, indep_packets = 0.0;
   };
   std::vector<RunRow> per_run(static_cast<size_t>(runs));
-  ThreadPool pool(std::min<int>(ResolveThreads(config.threads), runs));
+  // Threads left over after the run-level fan-out drive in-run subtree
+  // parallelism, exactly like core/experiment.cc's ExecuteRun; the wave
+  // engine's record/replay fold keeps stdout byte-identical either way.
+  const int resolved = ResolveThreads(config.threads);
+  const int pool_threads = std::min<int>(resolved, runs);
+  const int wave_threads = std::max(1, resolved / std::max(1, pool_threads));
+  ThreadPool pool(pool_threads);
   const Status status = pool.ParallelFor(runs, [&](int64_t run_index) -> Status {
     const int run = static_cast<int>(run_index);
     RunRow& out = per_run[static_cast<size_t>(run)];
+    // Declared before the scenario so the Network never outlives the
+    // executor it borrows.
+    std::optional<WaveExecutor> wave_executor;
     auto scenario = BuildScenario(config, run);
     if (!scenario.ok()) return scenario.status();
     Network* net = scenario.value().network.get();
+    if (config.subtree_parallel) {
+      wave_executor.emplace(wave_threads, /*target_parts=*/4 * wave_threads);
+      net->set_wave_executor(&*wave_executor);
+    }
     const int64_t n = net->num_sensors();
     const std::vector<int64_t> ks = {n / 4, n / 2, 3 * n / 4};
 

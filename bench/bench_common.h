@@ -62,6 +62,11 @@ inline int HarnessIntFromEnv(const char* name, int fallback) {
 ///   --threads=N      worker threads for multi-run experiments (0 = auto via
 ///                    WSNQ_THREADS / hardware concurrency, 1 = serial); the
 ///                    aggregate rows are bit-identical for every value.
+///   --subtree-parallel[=BOOL]
+///                    split each convergecast wave over subtree cuts of the
+///                    routing tree, using threads left idle by the run-level
+///                    fan-out (net/wave.h); every output stays bit-identical
+///                    to the serial wave for any thread count.
 ///   --trace=PATH     structured event trace (.jsonl = JSONL, else
 ///                    Chrome/Perfetto JSON; needs -DWSNQ_TRACING=ON).
 ///   --metrics=PATH   long-format metrics CSV (docs/observability.md).
@@ -82,6 +87,8 @@ inline bool ParseCommonFlags(int argc, const char* const* argv,
   FlagParser flags(argc, argv);
   config->threads =
       static_cast<int>(flags.GetInt("threads", config->threads));
+  config->subtree_parallel =
+      flags.GetBool("subtree-parallel", config->subtree_parallel);
   Options().trace_path = flags.GetString("trace", "");
   Options().metrics_path = flags.GetString("metrics", "");
   Options().profile_path = flags.GetString("profile", "");
@@ -97,8 +104,9 @@ inline bool ParseCommonFlags(int argc, const char* const* argv,
   }
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr,
-                 "unknown flag: --%s (supported: --threads=N --trace=PATH "
-                 "--metrics=PATH --profile[=PATH] --reps=N --warmup=N)\n",
+                 "unknown flag: --%s (supported: --threads=N "
+                 "--subtree-parallel[=BOOL] --trace=PATH --metrics=PATH "
+                 "--profile[=PATH] --reps=N --warmup=N)\n",
                  unused.c_str());
     ok = false;
   }

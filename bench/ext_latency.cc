@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "algo/registry.h"
@@ -17,6 +18,7 @@
 #include "core/simulation.h"
 #include "core/experiment.h"
 #include "net/schedule.h"
+#include "net/wave.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -54,11 +56,24 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<RunRow>> per_run(
       static_cast<size_t>(runs), std::vector<RunRow>(algorithms.size()));
-  ThreadPool pool(std::min<int>(ResolveThreads(config.threads), runs));
+  // Threads left over after the run-level fan-out drive in-run subtree
+  // parallelism, exactly like core/experiment.cc's ExecuteRun; the wave
+  // engine's record/replay fold keeps stdout byte-identical either way.
+  const int resolved = ResolveThreads(config.threads);
+  const int pool_threads = std::min<int>(resolved, runs);
+  const int wave_threads = std::max(1, resolved / std::max(1, pool_threads));
+  ThreadPool pool(pool_threads);
   const Status status = pool.ParallelFor(runs, [&](int64_t run) -> Status {
+    // Declared before the scenario so the Network never outlives the
+    // executor it borrows.
+    std::optional<WaveExecutor> wave_executor;
     auto scenario = BuildScenario(config, static_cast<int>(run));
     if (!scenario.ok()) return scenario.status();
     Network* net = scenario.value().network.get();
+    if (config.subtree_parallel) {
+      wave_executor.emplace(wave_threads, /*target_parts=*/4 * wave_threads);
+      net->set_wave_executor(&*wave_executor);
+    }
     const TdmaSchedule schedule(net->graph(), net->tree());
     const double cc_slots =
         static_cast<double>(schedule.ConvergecastSlots());

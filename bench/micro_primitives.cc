@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "algo/hist_codec.h"
@@ -194,6 +195,56 @@ void BM_FullProtocolRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullProtocolRound);
+
+// The experiment hot loop (core/experiment.cc's run_protocols stage): one
+// update round of every paper protocol over a shared synthetic scenario
+// with materialized value rows. Per-protocol per-round cost is the
+// items/s counter (items = protocol-rounds). The struct-of-arrays wave
+// workspaces (algo/common.h) are on by default; run with WSNQ_SOA=0 to
+// pin the legacy per-wave allocation layout for an A/B.
+void BM_RunProtocols(benchmark::State& state) {
+  SimulationConfig config;
+  config.num_sensors = static_cast<int>(state.range(0));
+  config.check_oracle = false;
+  auto scenario = BuildScenario(config, 0);
+  if (!scenario.ok()) {
+    state.SkipWithError(scenario.status().ToString().c_str());
+    return;
+  }
+  constexpr int64_t kCycleRounds = 64;
+  scenario.value().MaterializeValues(kCycleRounds + 1);
+  Network* net = scenario.value().network.get();
+  std::vector<std::unique_ptr<QuantileProtocol>> protocols;
+  for (AlgorithmKind kind : PaperAlgorithms()) {
+    protocols.push_back(MakeProtocol(kind, scenario.value().k,
+                                     scenario.value().source->range_min(),
+                                     scenario.value().source->range_max(),
+                                     config.wire));
+  }
+  // Initialization rounds (round 0) stay outside the timed loop: the
+  // steady-state update round is what run_protocols spends its time in.
+  for (auto& protocol : protocols) {
+    net->BeginRound();
+    protocol->RunRound(net, scenario.value().ValuesView(0), 0);
+  }
+  int64_t round = 1;
+  for (auto _ : state) {
+    const std::vector<int64_t>& values =
+        scenario.value().ValuesView(1 + (round - 1) % kCycleRounds);
+    for (auto& protocol : protocols) {
+      net->BeginRound();
+      protocol->RunRound(net, values, round);
+    }
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(protocols.size()));
+}
+BENCHMARK(BM_RunProtocols)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wsnq

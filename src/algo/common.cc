@@ -1,10 +1,29 @@
 #include "algo/common.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 
 #include "util/check.h"
 
 namespace wsnq {
+namespace {
+
+/// WSNQ_SOA=0 disables buffer reuse (A/B pin for the bench harness); any
+/// other value — or an unset variable — keeps the struct-of-arrays reuse.
+bool SoaReuseEnabled() {
+  const char* env = std::getenv("WSNQ_SOA");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Releases a buffer's heap storage (the WSNQ_SOA=0 allocate-per-wave pin).
+template <typename T>
+void ReleaseBuffer(std::vector<T>* buffer) {
+  std::vector<T>().swap(*buffer);
+}
+
+}  // namespace
 
 void ValidationAgg::Merge(const ValidationAgg& other) {
   into_lt += other.into_lt;
@@ -39,42 +58,180 @@ void ValidationAgg::AddTransition(Region from, Region to, int64_t value) {
   }
 }
 
-std::vector<int64_t> CollectKSmallest(Network* net,
-                                      const std::vector<int64_t>& values,
-                                      int64_t k, const WireFormat& wire) {
-  WSNQ_CHECK_GE(k, 1);
-  const SpanningTree& tree = net->tree();
-  const size_t n = static_cast<size_t>(net->num_vertices());
-  WSNQ_CHECK_EQ(values.size(), n);
+WaveWorkspace::WaveWorkspace() : reuse_(SoaReuseEnabled()) {}
 
-  // inbox[v]: sorted k-smallest (with k-th ties) multiset of v's subtree.
-  std::vector<std::vector<int64_t>> inbox(n);
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
+std::vector<ValidationAgg>& WaveWorkspace::PrepareAggRows(size_t n,
+                                                          size_t rows) {
+  if (!reuse_) ReleaseBuffer(&agg_);
+  agg_.assign(n * rows, ValidationAgg{});
+  return agg_;
+}
+
+std::vector<std::vector<int64_t>>& WaveWorkspace::PrepareSets(size_t n) {
+  if (!reuse_) ReleaseBuffer(&sets_);
+  if (sets_.size() < n) sets_.resize(n);
+  for (size_t i = 0; i < n; ++i) sets_[i].clear();
+  return sets_;
+}
+
+std::vector<std::vector<int64_t>>& WaveWorkspace::PrepareWindows(size_t n) {
+  if (!reuse_) ReleaseBuffer(&windows_);
+  if (windows_.size() < n) windows_.resize(n);
+  for (size_t i = 0; i < n; ++i) windows_[i].clear();
+  return windows_;
+}
+
+std::vector<std::vector<std::pair<int, int64_t>>>&
+WaveWorkspace::PrepareDeltas(size_t n) {
+  if (!reuse_) ReleaseBuffer(&deltas_);
+  if (deltas_.size() < n) deltas_.resize(n);
+  for (size_t i = 0; i < n; ++i) deltas_[i].clear();
+  return deltas_;
+}
+
+void WaveWorkspace::PrepareHist(size_t n, size_t buckets) {
+  if (!reuse_) {
+    ReleaseBuffer(&hist_);
+    ReleaseBuffer(&hist_total_);
+    ReleaseBuffer(&hist_epoch_);
+    hist_wave_ = 0;
+  }
+  if (hist_.size() < n * buckets) hist_.resize(n * buckets);
+  if (hist_epoch_.size() < n || hist_buckets_ != buckets) {
+    // Row stride changed: existing epochs refer to other row offsets.
+    hist_epoch_.assign(std::max(hist_epoch_.size(), n), 0);
+    hist_wave_ = 0;
+  }
+  hist_buckets_ = buckets;
+  hist_total_.assign(n, 0);
+  ++hist_wave_;
+}
+
+int64_t* WaveWorkspace::HistRow(int v) {
+  const size_t row = static_cast<size_t>(v);
+  int64_t* data = hist_.data() + row * hist_buckets_;
+  if (hist_epoch_[row] != hist_wave_) {
+    std::fill(data, data + hist_buckets_, 0);
+    hist_epoch_[row] = hist_wave_;
+  }
+  return data;
+}
+
+namespace {
+
+/// Ops for CollectKSmallest: rows hold each subtree's sorted k-smallest
+/// multiset (with k-th ties); a node always uplinks its row.
+struct CollectKOps {
+  Network* net;
+  const std::vector<int64_t>& values;
+  int64_t k;
+  const WireFormat& wire;
+  std::vector<std::vector<int64_t>>& inbox;
+
+  WaveSend Process(int v, WaveLane& lane) {
     std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
     if (!net->is_root(v)) mine.push_back(values[static_cast<size_t>(v)]);
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      auto& theirs = inbox[static_cast<size_t>(child)];
-      mine.insert(mine.end(), theirs.begin(), theirs.end());
-      theirs.clear();
-      theirs.shrink_to_fit();
+    for (int child : net->tree().children[static_cast<size_t>(v)]) {
+      // Truncate to the k smallest (plus k-th ties) after every child so
+      // the running list never exceeds k + ties (see MergeTruncatedInto).
+      MergeTruncatedInto(&mine, &inbox[static_cast<size_t>(child)],
+                         &lane.scratch, k, std::less<int64_t>());
     }
-    std::sort(mine.begin(), mine.end());
-    // Truncate to the k smallest plus all duplicates of the k-th smallest.
-    if (static_cast<int64_t>(mine.size()) > k) {
-      const int64_t cutoff = mine[static_cast<size_t>(k - 1)];
-      size_t keep = static_cast<size_t>(k);
-      while (keep < mine.size() && mine[keep] == cutoff) ++keep;
-      mine.resize(keep);
-    }
+    TruncateWithTies(&mine, k);
+    WaveSend send;
+    send.payload_bits = static_cast<int64_t>(mine.size()) * wire.value_bits;
+    send.value_count = static_cast<int64_t>(mine.size());
+    return send;
+  }
+  void OnLost(int v) {
+    inbox[static_cast<size_t>(v)].clear();  // parent never sees the subtree
+  }
+};
+
+/// Ops for RangeValuesConvergecast: rows hold the sorted in-range values of
+/// each subtree; a node uplinks iff its row is non-empty.
+struct RangeValuesOps {
+  Network* net;
+  const std::vector<int64_t>& values;
+  int64_t lo;
+  int64_t hi;
+  const WireFormat& wire;
+  std::vector<std::vector<int64_t>>& inbox;
+
+  WaveSend Process(int v, WaveLane& lane) {
+    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
     if (!net->is_root(v)) {
-      net->CountValues(static_cast<int64_t>(mine.size()));
-      if (!net->SendToParent(
-              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
-        mine.clear();  // lost uplink: the parent never sees this subtree
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (value >= lo && value <= hi) mine.push_back(value);
+    }
+    for (int child : net->tree().children[static_cast<size_t>(v)]) {
+      MergeSortedInto(&mine, &inbox[static_cast<size_t>(child)],
+                      &lane.scratch, std::less<int64_t>());
+    }
+    WaveSend send;
+    if (!mine.empty()) {
+      send.payload_bits = static_cast<int64_t>(mine.size()) * wire.value_bits;
+      send.value_count = static_cast<int64_t>(mine.size());
+    }
+    return send;
+  }
+  void OnLost(int v) { inbox[static_cast<size_t>(v)].clear(); }
+};
+
+/// Ops for TopFConvergecast: rows ordered most-extreme-first (descending
+/// when collecting the largest), truncated to f plus ties of the f-th.
+struct TopFOps {
+  Network* net;
+  const std::vector<int64_t>& values;
+  int64_t lo;
+  int64_t hi;
+  int64_t f;
+  bool largest;
+  const WireFormat& wire;
+  std::vector<std::vector<int64_t>>& inbox;
+
+  WaveSend Process(int v, WaveLane& lane) {
+    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
+    if (!net->is_root(v)) {
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (value >= lo && value <= hi) mine.push_back(value);
+    }
+    for (int child : net->tree().children[static_cast<size_t>(v)]) {
+      // Per-child truncation to the f most extreme (plus f-th ties); see
+      // MergeTruncatedInto for why this cannot change the final list.
+      if (largest) {
+        MergeTruncatedInto(&mine, &inbox[static_cast<size_t>(child)],
+                           &lane.scratch, f, std::greater<int64_t>());
+      } else {
+        MergeTruncatedInto(&mine, &inbox[static_cast<size_t>(child)],
+                           &lane.scratch, f, std::less<int64_t>());
       }
     }
+    TruncateWithTies(&mine, f);
+    WaveSend send;
+    if (!mine.empty()) {
+      send.payload_bits = static_cast<int64_t>(mine.size()) * wire.value_bits;
+      send.value_count = static_cast<int64_t>(mine.size());
+    }
+    return send;
   }
+  void OnLost(int v) { inbox[static_cast<size_t>(v)].clear(); }
+};
+
+}  // namespace
+
+std::vector<int64_t> CollectKSmallest(Network* net,
+                                      const std::vector<int64_t>& values,
+                                      int64_t k, const WireFormat& wire,
+                                      WaveWorkspace* ws) {
+  WSNQ_CHECK_GE(k, 1);
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  WSNQ_CHECK_EQ(values.size(), n);
+  WaveWorkspace fallback;
+  if (ws == nullptr) ws = &fallback;
+  std::vector<std::vector<int64_t>>& inbox = ws->PrepareSets(n);
+  CollectKOps ops{net, values, k, wire, inbox};
+  RunConvergecastWave(net, ops);
   const std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
   WSNQ_DCHECK(std::is_sorted(result.begin(), result.end()));
   if (!net->lossy()) {
@@ -87,73 +244,31 @@ std::vector<int64_t> CollectKSmallest(Network* net,
 
 std::vector<int64_t> RangeValuesConvergecast(
     Network* net, const std::vector<int64_t>& values, int64_t lo, int64_t hi,
-    const WireFormat& wire) {
-  const SpanningTree& tree = net->tree();
-  std::vector<std::vector<int64_t>> inbox(
-      static_cast<size_t>(net->num_vertices()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
-    if (!net->is_root(v)) {
-      const int64_t value = values[static_cast<size_t>(v)];
-      if (value >= lo && value <= hi) mine.push_back(value);
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      auto& theirs = inbox[static_cast<size_t>(child)];
-      mine.insert(mine.end(), theirs.begin(), theirs.end());
-      theirs.clear();
-    }
-    if (!net->is_root(v) && !mine.empty()) {
-      net->CountValues(static_cast<int64_t>(mine.size()));
-      if (!net->SendToParent(
-              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
-        mine.clear();  // lost uplink: the parent never sees this subtree
-      }
-    }
-  }
-  std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
-  std::sort(result.begin(), result.end());
+    const WireFormat& wire, WaveWorkspace* ws) {
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  WaveWorkspace fallback;
+  if (ws == nullptr) ws = &fallback;
+  std::vector<std::vector<int64_t>>& inbox = ws->PrepareSets(n);
+  RangeValuesOps ops{net, values, lo, hi, wire, inbox};
+  RunConvergecastWave(net, ops);
+  std::vector<int64_t> result = inbox[static_cast<size_t>(net->root())];
+  WSNQ_DCHECK(std::is_sorted(result.begin(), result.end()));
   return result;
 }
 
 std::vector<int64_t> TopFConvergecast(Network* net,
                                       const std::vector<int64_t>& values,
                                       int64_t lo, int64_t hi, int64_t f,
-                                      bool largest, const WireFormat& wire) {
+                                      bool largest, const WireFormat& wire,
+                                      WaveWorkspace* ws) {
   WSNQ_CHECK_GE(f, 1);
-  const SpanningTree& tree = net->tree();
-  std::vector<std::vector<int64_t>> inbox(
-      static_cast<size_t>(net->num_vertices()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    std::vector<int64_t>& mine = inbox[static_cast<size_t>(v)];
-    if (!net->is_root(v)) {
-      const int64_t value = values[static_cast<size_t>(v)];
-      if (value >= lo && value <= hi) mine.push_back(value);
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      auto& theirs = inbox[static_cast<size_t>(child)];
-      mine.insert(mine.end(), theirs.begin(), theirs.end());
-      theirs.clear();
-    }
-    // Keep the f most extreme values plus duplicates of the f-th extreme.
-    std::sort(mine.begin(), mine.end());
-    if (largest) std::reverse(mine.begin(), mine.end());
-    if (static_cast<int64_t>(mine.size()) > f) {
-      const int64_t cutoff = mine[static_cast<size_t>(f - 1)];
-      size_t keep = static_cast<size_t>(f);
-      while (keep < mine.size() && mine[keep] == cutoff) ++keep;
-      mine.resize(keep);
-    }
-    if (!net->is_root(v) && !mine.empty()) {
-      net->CountValues(static_cast<int64_t>(mine.size()));
-      if (!net->SendToParent(
-              v, static_cast<int64_t>(mine.size()) * wire.value_bits)) {
-        mine.clear();  // lost uplink: the parent never sees this subtree
-      }
-    }
-  }
-  std::vector<int64_t>& result = inbox[static_cast<size_t>(net->root())];
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  WaveWorkspace fallback;
+  if (ws == nullptr) ws = &fallback;
+  std::vector<std::vector<int64_t>>& inbox = ws->PrepareSets(n);
+  TopFOps ops{net, values, lo, hi, f, largest, wire, inbox};
+  RunConvergecastWave(net, ops);
+  std::vector<int64_t> result = inbox[static_cast<size_t>(net->root())];
   std::sort(result.begin(), result.end());
   return result;
 }

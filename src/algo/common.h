@@ -1,16 +1,27 @@
 // Shared protocol building blocks: wire sizes, the lt/eq/gt region algebra
 // of POS-style filters, validation counter aggregation, hints, and the
 // TAG-style k-limited collection used for initialization.
+//
+// All convergecast helpers run on the net/wave.h engine: per-vertex state
+// lives in struct-of-arrays rows of a WaveWorkspace (flat arrays indexed by
+// vertex, the ValuesView idiom extended to protocol state), so a wave is a
+// tight linear sweep over post order — serially, or partitioned over
+// subtrees when a WaveExecutor is installed. Each protocol owns one
+// workspace; row capacities persist across rounds, so steady-state waves
+// allocate nothing.
 
 #ifndef WSNQ_ALGO_COMMON_H_
 #define WSNQ_ALGO_COMMON_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
+#include <utility>
 #include <vector>
 
 #include "algo/protocol.h"
 #include "net/network.h"
+#include "net/wave.h"
 
 namespace wsnq {
 
@@ -29,6 +40,18 @@ struct WireFormat {
   /// An f_1/f_2-style "number of values requested" field [bits].
   int64_t fcount_bits = 16;
 };
+
+/// log2(w) when w is a power of two, else -1. Bucket widths derived from
+/// power-of-two universes stay powers of two through b-ary halving, so the
+/// per-value bucket divisions in the histogram hot loops can use a shift;
+/// callers precompute the shift once per layout (see BucketLayout::BucketOf
+/// and LcllProtocol::BucketId).
+inline int PowerOfTwoShift(int64_t w) {
+  if (w <= 0 || (w & (w - 1)) != 0) return -1;
+  int shift = 0;
+  while ((int64_t{1} << shift) != w) ++shift;
+  return shift;
+}
 
 /// Position of a value relative to a single threshold filter.
 enum class Region { kLt, kEq, kGt };
@@ -64,6 +87,125 @@ struct ValidationAgg {
   void AddTransition(Region from, Region to, int64_t value);
 };
 
+/// Reusable struct-of-arrays rows for the convergecast hot loops, indexed
+/// by vertex. One workspace per protocol instance; a wave's Prepare* call
+/// resets the rows it needs while keeping their heap capacity, so repeated
+/// waves allocate nothing once warm. Distinct row families back waves that
+/// nest (a refinement convergecast issued while a validation wave's root
+/// row is still being consumed), and subtree-parallel parts write disjoint
+/// vertex rows, so no locking is needed anywhere.
+///
+/// Setting WSNQ_SOA=0 in the environment makes every Prepare* release its
+/// buffers first — restoring the pre-SoA allocate-per-wave behavior for A/B
+/// benchmarking. Results are bit-identical either way.
+class WaveWorkspace {
+ public:
+  WaveWorkspace();
+
+  /// `n` ValidationAgg rows, reset to empty.
+  std::vector<ValidationAgg>& PrepareAgg(size_t n) {
+    return PrepareAggRows(n, 1);
+  }
+  /// Flat (n × rows) ValidationAgg matrix for multi-rank waves.
+  std::vector<ValidationAgg>& PrepareAggRows(size_t n, size_t rows);
+
+  /// `n` value-collection rows, all cleared. Used by the k-limited /
+  /// range / top-f collections.
+  std::vector<std::vector<int64_t>>& PrepareSets(size_t n);
+
+  /// A second, independent family of value rows for window membership (IQ /
+  /// multi-quantile), so a refinement collection can run while root windows
+  /// are still being consumed.
+  std::vector<std::vector<int64_t>>& PrepareWindows(size_t n);
+
+  /// `n` sparse (bucket, delta) rows, all cleared (LCLL validation).
+  std::vector<std::vector<std::pair<int, int64_t>>>& PrepareDeltas(size_t n);
+
+  /// Histogram arena of `n` rows × `buckets` counts. Rows start logically
+  /// zero and are zeroed lazily on first HistRow touch; per-row totals
+  /// (maintained by the caller through HistTotal) start at zero, so a row
+  /// whose total is 0 is never read and never needs zeroing.
+  void PrepareHist(size_t n, size_t buckets);
+  /// The bucket row of vertex `v`, zeroed on first touch this wave.
+  int64_t* HistRow(int v);
+  int64_t& HistTotal(int v) { return hist_total_[static_cast<size_t>(v)]; }
+  int64_t HistTotal(int v) const {
+    return hist_total_[static_cast<size_t>(v)];
+  }
+  size_t hist_buckets() const { return hist_buckets_; }
+
+ private:
+  bool reuse_;  ///< false under WSNQ_SOA=0: release buffers every wave
+
+  std::vector<ValidationAgg> agg_;
+  std::vector<std::vector<int64_t>> sets_;
+  std::vector<std::vector<int64_t>> windows_;
+  std::vector<std::vector<std::pair<int, int64_t>>> deltas_;
+
+  std::vector<int64_t> hist_;
+  std::vector<int64_t> hist_total_;
+  std::vector<uint64_t> hist_epoch_;
+  uint64_t hist_wave_ = 0;
+  size_t hist_buckets_ = 0;
+};
+
+/// Merges sorted `child` into sorted `mine` (ordered by `cmp`) through
+/// `scratch`, leaving `child` empty with its capacity retained for
+/// workspace reuse. Equal values keep their relative grouping, so the
+/// result is the same sequence a concatenate-then-sort would produce.
+template <typename Cmp>
+void MergeSortedInto(std::vector<int64_t>* mine, std::vector<int64_t>* child,
+                     std::vector<int64_t>* scratch, Cmp cmp) {
+  if (child->empty()) return;
+  if (mine->empty()) {
+    mine->swap(*child);
+    return;
+  }
+  // A handful of child elements binary-insert cheaper than rewriting all of
+  // `mine`; upper_bound lands each one after its ties, exactly where
+  // std::merge (which copies `mine` first on equality) would put it.
+  constexpr size_t kTinyChild = 8;
+  if (child->size() <= kTinyChild) {
+    for (const int64_t x : *child) {
+      mine->insert(std::upper_bound(mine->begin(), mine->end(), x, cmp), x);
+    }
+    child->clear();
+    return;
+  }
+  scratch->clear();
+  scratch->reserve(mine->size() + child->size());
+  std::merge(mine->begin(), mine->end(), child->begin(), child->end(),
+             std::back_inserter(*scratch), cmp);
+  mine->swap(*scratch);
+  child->clear();
+}
+
+/// Truncates `sorted` (ordered by its wave's comparator) to its first
+/// `limit` entries plus all duplicates of the limit-th entry.
+inline void TruncateWithTies(std::vector<int64_t>* sorted, int64_t limit) {
+  if (static_cast<int64_t>(sorted->size()) <= limit) return;
+  const int64_t cutoff = (*sorted)[static_cast<size_t>(limit - 1)];
+  size_t keep = static_cast<size_t>(limit);
+  while (keep < sorted->size() && (*sorted)[keep] == cutoff) ++keep;
+  sorted->resize(keep);
+}
+
+/// MergeSortedInto followed by TruncateWithTies(limit). Truncating after
+/// every merge (not just once per vertex) is exactness-preserving: an
+/// element beyond the limit-th entry of any intermediate superset compares
+/// strictly after the final cutoff, so merge-everything-then-truncate
+/// would drop it too. It keeps the running list bounded by limit + ties,
+/// which turns the high-fanout merge cascade from quadratic in the child
+/// count into linear.
+template <typename Cmp>
+void MergeTruncatedInto(std::vector<int64_t>* mine,
+                        std::vector<int64_t>* child,
+                        std::vector<int64_t>* scratch, int64_t limit,
+                        Cmp cmp) {
+  MergeSortedInto(mine, child, scratch, cmp);
+  TruncateWithTies(mine, limit);
+}
+
 /// Applies aggregated movement counters to root counts (l and g move by the
 /// counter deltas; e is rederived from the population size).
 inline void ApplyCounters(const ValidationAgg& agg, int64_t population,
@@ -94,7 +236,8 @@ inline bool CountsConserved(const RootCounts& counts, int64_t population) {
 /// multiset (size >= min(k, |N|)).
 std::vector<int64_t> CollectKSmallest(Network* net,
                                       const std::vector<int64_t>& values,
-                                      int64_t k, const WireFormat& wire);
+                                      int64_t k, const WireFormat& wire,
+                                      WaveWorkspace* ws = nullptr);
 
 /// Root counts (l, e, g) of `threshold` given a collection that is complete
 /// up to and including every duplicate of the k-th smallest value.
@@ -114,12 +257,13 @@ inline int64_t BestEffortKth(const std::vector<int64_t>& sorted, int64_t k,
 
 /// Collects every measurement inside [lo, hi] (inclusive) at the root
 /// ("request all values in the remaining interval directly", §3.2).
-/// Intermediate nodes concatenate; accounting goes through `net`.
+/// Intermediate nodes merge sorted runs; accounting goes through `net`.
 /// Returns the root's sorted multiset.
 std::vector<int64_t> RangeValuesConvergecast(Network* net,
                                              const std::vector<int64_t>& values,
                                              int64_t lo, int64_t hi,
-                                             const WireFormat& wire);
+                                             const WireFormat& wire,
+                                             WaveWorkspace* ws = nullptr);
 
 /// IQ-style bounded refinement response (§4.2.2): collects the `f` largest
 /// (or smallest) measurements inside [lo, hi]; intermediate nodes drop
@@ -129,41 +273,57 @@ std::vector<int64_t> RangeValuesConvergecast(Network* net,
 std::vector<int64_t> TopFConvergecast(Network* net,
                                       const std::vector<int64_t>& values,
                                       int64_t lo, int64_t hi, int64_t f,
-                                      bool largest, const WireFormat& wire);
+                                      bool largest, const WireFormat& wire,
+                                      WaveWorkspace* ws = nullptr);
 
 /// Runs a POS-style transition convergecast. For every sensor vertex v,
 /// `classify(v)` returns its (from, to) region pair; region changes are
-/// folded into ValidationAgg packets that merge up the tree. A node
-/// transmits iff its merged aggregate is non-empty; the packet payload is
-/// four movement counters plus `hint_values` measurement fields when the
+/// folded into ValidationAgg rows that merge up the tree. A node transmits
+/// iff its merged aggregate is non-empty; the packet payload is four
+/// movement counters plus `hint_values` measurement fields when the
 /// aggregate carries a hint. Returns the root's aggregate.
 template <typename ClassifyFn>
 ValidationAgg TransitionConvergecast(Network* net,
                                      const std::vector<int64_t>& values,
                                      const WireFormat& wire, int hint_values,
-                                     ClassifyFn&& classify) {
-  const SpanningTree& tree = net->tree();
-  std::vector<ValidationAgg> inbox(
-      static_cast<size_t>(net->num_vertices()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    ValidationAgg& agg = inbox[static_cast<size_t>(v)];
-    if (!net->is_root(v)) {
-      const auto [from, to] = classify(v);
-      agg.AddTransition(from, to, values[static_cast<size_t>(v)]);
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      agg.Merge(inbox[static_cast<size_t>(child)]);
-    }
-    if (!net->is_root(v) && !agg.empty()) {
-      const int64_t payload =
-          4 * wire.counter_bits +
-          (agg.has_hint ? hint_values * wire.value_bits : 0);
-      if (!net->SendToParent(v, payload)) {
-        agg = ValidationAgg{};  // lost uplink: subtree report vanishes
+                                     ClassifyFn&& classify,
+                                     WaveWorkspace* ws = nullptr) {
+  WaveWorkspace fallback;
+  if (ws == nullptr) ws = &fallback;
+  std::vector<ValidationAgg>& inbox =
+      ws->PrepareAgg(static_cast<size_t>(net->num_vertices()));
+  struct Ops {
+    Network* net;
+    const std::vector<int64_t>& values;
+    const WireFormat& wire;
+    int hint_values;
+    ClassifyFn& classify;
+    std::vector<ValidationAgg>& inbox;
+
+    WaveSend Process(int v, WaveLane& /*lane*/) {
+      ValidationAgg& agg = inbox[static_cast<size_t>(v)];
+      if (!net->is_root(v)) {
+        const auto [from, to] = classify(v);
+        agg.AddTransition(from, to, values[static_cast<size_t>(v)]);
       }
+      for (int child : net->tree().children[static_cast<size_t>(v)]) {
+        agg.Merge(inbox[static_cast<size_t>(child)]);
+      }
+      WaveSend send;
+      if (!agg.empty()) {
+        send.payload_bits =
+            4 * wire.counter_bits +
+            (agg.has_hint ? hint_values * wire.value_bits : 0);
+      }
+      return send;
     }
-  }
+    void OnLost(int v) {
+      // Lost uplink: the subtree report vanishes.
+      inbox[static_cast<size_t>(v)] = ValidationAgg{};
+    }
+  };
+  Ops ops{net, values, wire, hint_values, classify, inbox};
+  RunConvergecastWave(net, ops);
   return inbox[static_cast<size_t>(net->root())];
 }
 

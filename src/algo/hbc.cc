@@ -48,7 +48,8 @@ void HbcProtocol::Initialize(Network* net,
           ? net->packetizer().ValuesPerPacket(wire_.value_bits)
           : 0;
   const DrillResult init = BAryDrill(net, values, range_min_, range_max_ + 1,
-                                     /*below_lb=*/0, k_, drill, wire_);
+                                     /*below_lb=*/0, k_, drill, wire_,
+                                     /*less_than_ub=*/-1, &ws_);
   quantile_ = init.quantile;
   if (options_.eliminate_threshold_broadcast) {
     filter_lb_ = init.last_lb;
@@ -108,7 +109,8 @@ void HbcProtocol::RunBasicRound(Network* net,
         const size_t i = static_cast<size_t>(v);
         return std::pair(ClassifyThreshold(prev[i], filter),
                          ClassifyThreshold(values[i], filter));
-      });
+      },
+      &ws_);
   ApplyCounters(validation, net->num_sensors(), &counts_);
   if (!net->lossy()) {
     // Validation deltas must keep (l, e, g) a partition of the population.
@@ -165,7 +167,7 @@ void HbcProtocol::RunBasicRound(Network* net,
           ? net->packetizer().ValuesPerPacket(wire_.value_bits)
           : 0;
   const DrillResult refined = BAryDrill(net, values, lb, ub, below_lb, k_,
-                                        drill, wire_, less_than_ub);
+                                        drill, wire_, less_than_ub, &ws_);
   refinements_ = refined.rounds;
   quantile_ = refined.quantile;
   counts_ = refined.counts;
@@ -192,7 +194,8 @@ void HbcProtocol::RunNtbRound(Network* net,
         const size_t i = static_cast<size_t>(v);
         return std::pair(ClassifyInterval(prev[i], flb, fub),
                          ClassifyInterval(values[i], flb, fub));
-      });
+      },
+      &ws_);
   ApplyCounters(validation, net->num_sensors(), &counts_);
   if (!net->lossy()) {
     WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
@@ -244,7 +247,7 @@ void HbcProtocol::RunNtbRound(Network* net,
   drill.buckets = buckets_;
   drill.direct_capacity = 0;  // incompatible with the interval filter
   const DrillResult refined = BAryDrill(net, values, lb, ub, below_lb, k_,
-                                        drill, wire_, less_than_ub);
+                                        drill, wire_, less_than_ub, &ws_);
   refinements_ = refined.rounds;
   quantile_ = refined.quantile;
   // The filter becomes the last interval everyone saw; no broadcast.

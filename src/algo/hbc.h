@@ -102,6 +102,8 @@ class HbcProtocol : public QuantileProtocol {
   // NTB variant interval filter [filter_lb_, filter_ub_).
   int64_t filter_lb_ = 0;
   int64_t filter_ub_ = 0;
+
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

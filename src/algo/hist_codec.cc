@@ -13,6 +13,7 @@ BucketLayout::BucketLayout(int64_t lb, int64_t ub, int max_buckets)
   const int64_t span = ub - lb;
   width_ = (span + max_buckets - 1) / max_buckets;
   WSNQ_CHECK_GE(width_, 1);
+  width_shift_ = PowerOfTwoShift(width_);
   num_buckets_ = static_cast<int>((span + width_ - 1) / width_);
   // Bucket edges partition [lb, ub): monotone, contiguous, and the last
   // bucket's (clamped) upper edge lands exactly on ub.
@@ -20,14 +21,6 @@ BucketLayout::BucketLayout(int64_t lb, int64_t ub, int max_buckets)
   WSNQ_DCHECK_LE(num_buckets_, max_buckets);
   WSNQ_DCHECK_LT(BucketLb(num_buckets_ - 1), ub_);
   WSNQ_DCHECK_EQ(BucketUb(num_buckets_ - 1), ub_);
-}
-
-int BucketLayout::BucketOf(int64_t value) const {
-  WSNQ_DCHECK(Contains(value));
-  const int bucket = static_cast<int>((value - lb_) / width_);
-  WSNQ_DCHECK_GE(bucket, 0);
-  WSNQ_DCHECK_LT(bucket, num_buckets_);
-  return bucket;
 }
 
 int64_t BucketLayout::BucketUb(int i) const {
@@ -59,28 +52,79 @@ int64_t SparseHistogram::EncodedBits(const WireFormat& wire) const {
   return std::min(dense, sparse);
 }
 
+namespace {
+
+/// Wire size of one arena bucket row: the cheaper of dense and compressed.
+int64_t EncodedRowBits(const int64_t* row, size_t buckets,
+                       const WireFormat& wire) {
+  int64_t nonempty = 0;
+  for (size_t i = 0; i < buckets; ++i) nonempty += (row[i] != 0);
+  const int64_t dense =
+      static_cast<int64_t>(buckets) * wire.bucket_count_bits;
+  const int64_t sparse =
+      nonempty * (wire.bucket_count_bits + wire.bucket_index_bits);
+  return std::min(dense, sparse);
+}
+
+/// Ops for HistogramConvergecast over the workspace arena: bucket rows are
+/// zeroed lazily on first touch, children with a zero total are skipped
+/// without reading their rows.
+struct HistogramOps {
+  Network* net;
+  const std::vector<int64_t>& values;
+  const BucketLayout& layout;
+  const WireFormat& wire;
+  WaveWorkspace* ws;
+
+  WaveSend Process(int v, WaveLane& /*lane*/) {
+    int64_t total = 0;
+    int64_t* row = nullptr;
+    if (!net->is_root(v)) {
+      const int64_t value = values[static_cast<size_t>(v)];
+      if (layout.Contains(value)) {
+        row = ws->HistRow(v);
+        row[layout.BucketOf(value)] += 1;
+        total = 1;
+      }
+    }
+    const size_t buckets = ws->hist_buckets();
+    for (int child : net->tree().children[static_cast<size_t>(v)]) {
+      const int64_t child_total = ws->HistTotal(child);
+      if (child_total == 0) continue;
+      if (row == nullptr) row = ws->HistRow(v);
+      const int64_t* child_row = ws->HistRow(child);
+      for (size_t b = 0; b < buckets; ++b) row[b] += child_row[b];
+      total += child_total;
+    }
+    ws->HistTotal(v) = total;
+    WaveSend send;
+    if (total > 0) send.payload_bits = EncodedRowBits(row, buckets, wire);
+    return send;
+  }
+  void OnLost(int v) {
+    ws->HistTotal(v) = 0;  // lost uplink: the parent never merges the row
+  }
+};
+
+}  // namespace
+
 SparseHistogram HistogramConvergecast(Network* net,
                                       const std::vector<int64_t>& values,
                                       const BucketLayout& layout,
-                                      const WireFormat& wire) {
-  const SpanningTree& tree = net->tree();
-  std::vector<SparseHistogram> inbox(
-      static_cast<size_t>(net->num_vertices()),
-      SparseHistogram(layout.num_buckets()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    SparseHistogram& mine = inbox[static_cast<size_t>(v)];
-    if (!net->is_root(v)) {
-      const int64_t value = values[static_cast<size_t>(v)];
-      if (layout.Contains(value)) mine.Add(layout.BucketOf(value));
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      mine.Merge(inbox[static_cast<size_t>(child)]);
-    }
-    if (!net->is_root(v) && !mine.empty()) {
-      if (!net->SendToParent(v, mine.EncodedBits(wire))) {
-        mine = SparseHistogram(layout.num_buckets());  // lost uplink
-      }
+                                      const WireFormat& wire,
+                                      WaveWorkspace* ws) {
+  WaveWorkspace fallback;
+  if (ws == nullptr) ws = &fallback;
+  const size_t buckets = static_cast<size_t>(layout.num_buckets());
+  ws->PrepareHist(static_cast<size_t>(net->num_vertices()), buckets);
+  HistogramOps ops{net, values, layout, wire, ws};
+  RunConvergecastWave(net, ops);
+  const int root = net->root();
+  SparseHistogram result(layout.num_buckets());
+  if (ws->HistTotal(root) > 0) {
+    const int64_t* row = ws->HistRow(root);
+    for (size_t b = 0; b < buckets; ++b) {
+      if (row[b] != 0) result.Add(static_cast<int>(b), row[b]);
     }
   }
 #ifndef NDEBUG
@@ -88,14 +132,14 @@ SparseHistogram HistogramConvergecast(Network* net,
     // Conservation through the convergecast: the root's histogram holds
     // exactly one count per in-range sensor measurement.
     int64_t expect = 0;
-    for (int v : tree.post_order) {
+    for (int v : net->tree().post_order) {
       if (!net->is_root(v) && layout.Contains(values[static_cast<size_t>(v)]))
         ++expect;
     }
-    WSNQ_DCHECK_EQ(inbox[static_cast<size_t>(net->root())].Total(), expect);
+    WSNQ_DCHECK_EQ(result.Total(), expect);
   }
 #endif
-  return inbox[static_cast<size_t>(net->root())];
+  return result;
 }
 
 }  // namespace wsnq

@@ -33,8 +33,20 @@ class BucketLayout {
   /// True iff `value` falls into [lb, ub).
   bool Contains(int64_t value) const { return value >= lb_ && value < ub_; }
 
-  /// Bucket index of `value`. Precondition: Contains(value).
-  int BucketOf(int64_t value) const;
+  /// Bucket index of `value`. Precondition: Contains(value). Power-of-two
+  /// widths (the common case: b-ary drills over power-of-two universes keep
+  /// halving into power-of-two widths) resolve with a shift instead of a
+  /// 64-bit division — this runs once per in-range sensor per histogram
+  /// wave, so the division is measurably hot.
+  int BucketOf(int64_t value) const {
+    WSNQ_DCHECK(Contains(value));
+    const int64_t offset = value - lb_;
+    const int bucket = static_cast<int>(
+        width_shift_ >= 0 ? offset >> width_shift_ : offset / width_);
+    WSNQ_DCHECK_GE(bucket, 0);
+    WSNQ_DCHECK_LT(bucket, num_buckets_);
+    return bucket;
+  }
 
   /// Lower bound (inclusive) of bucket `i`.
   int64_t BucketLb(int i) const { return lb_ + static_cast<int64_t>(i) * width_; }
@@ -45,6 +57,8 @@ class BucketLayout {
   int64_t lb_;
   int64_t ub_;
   int64_t width_;
+  /// log2(width_) when width_ is a power of two, else -1 (see BucketOf).
+  int width_shift_;
   int num_buckets_;
 };
 
@@ -77,11 +91,14 @@ class SparseHistogram {
 /// Aggregates a histogram of all measurements inside `layout`'s interval at
 /// the root: every node buckets its own value (if in range), merges its
 /// children's histograms, and transmits iff the merged histogram is
-/// non-empty, paying the (possibly compressed) encoding size.
+/// non-empty, paying the (possibly compressed) encoding size. Bucket rows
+/// live in `ws`'s flat histogram arena (lazily zeroed; zero-total subtrees
+/// are skipped entirely), so the wave is a linear sweep over post order.
 SparseHistogram HistogramConvergecast(Network* net,
                                       const std::vector<int64_t>& values,
                                       const BucketLayout& layout,
-                                      const WireFormat& wire);
+                                      const WireFormat& wire,
+                                      WaveWorkspace* ws = nullptr);
 
 }  // namespace wsnq
 

@@ -27,7 +27,7 @@ void IqProtocol::Initialize(Network* net,
   // initialization, we will use the same algorithm").
   net->FloodFromRoot(wire_.counter_bits);
   const std::vector<int64_t> collected =
-      CollectKSmallest(net, values, k_, wire_);
+      CollectKSmallest(net, values, k_, wire_, &ws_);
   if (!net->lossy()) {
     WSNQ_CHECK_GE(static_cast<int64_t>(collected.size()), k_);
   }
@@ -66,55 +66,88 @@ void IqProtocol::Initialize(Network* net,
   filter_ = quantile_;
 }
 
-ValidationAgg IqProtocol::ValidationWithWindow(
-    Network* net, const std::vector<int64_t>& values,
-    std::vector<int64_t>* window_values) {
-  const SpanningTree& tree = net->tree();
-  // Eq. 1/2 window sanity: xi_l <= 0 <= xi_r, so the window always
-  // contains the current filter value.
-  WSNQ_DCHECK_LE(xi_l_, 0);
-  WSNQ_DCHECK_GE(xi_r_, 0);
-  const int64_t window_lo = filter_ + xi_l_;
-  const int64_t window_hi = filter_ + xi_r_;
-  const int hint_values = options_.use_hints ? 1 : 0;
+namespace {
 
-  std::vector<ValidationAgg> inbox(static_cast<size_t>(net->num_vertices()));
-  std::vector<std::vector<int64_t>> a_inbox(
-      static_cast<size_t>(net->num_vertices()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
+/// Ops for the windowed validation wave (§4.2.2): POS transition counters
+/// plus the multiset A of in-window values, in struct-of-arrays rows.
+struct WindowValidationOps {
+  Network* net;
+  const std::vector<int64_t>& values;
+  const std::vector<int64_t>& prev_values;
+  const WireFormat& wire;
+  int64_t filter;
+  int64_t window_lo;
+  int64_t window_hi;
+  int hint_values;
+  std::vector<ValidationAgg>& inbox;
+  std::vector<std::vector<int64_t>>& a_inbox;
+
+  WaveSend Process(int v, WaveLane& /*lane*/) {
     ValidationAgg& agg = inbox[static_cast<size_t>(v)];
     std::vector<int64_t>& a_set = a_inbox[static_cast<size_t>(v)];
     if (!net->is_root(v)) {
       const size_t i = static_cast<size_t>(v);
-      agg.AddTransition(ClassifyThreshold(prev_values_[i], filter_),
-                        ClassifyThreshold(values[i], filter_), values[i]);
+      agg.AddTransition(ClassifyThreshold(prev_values[i], filter),
+                        ClassifyThreshold(values[i], filter), values[i]);
       // A-contribution: values inside Xi, except the filter value itself,
       // are shipped verbatim every round (§4.2.2).
       if (values[i] >= window_lo && values[i] <= window_hi &&
-          values[i] != filter_) {
+          values[i] != filter) {
         a_set.push_back(values[i]);
       }
     }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
+    for (int child : net->tree().children[static_cast<size_t>(v)]) {
       agg.Merge(inbox[static_cast<size_t>(child)]);
       auto& theirs = a_inbox[static_cast<size_t>(child)];
-      a_set.insert(a_set.end(), theirs.begin(), theirs.end());
-      theirs.clear();
-    }
-    if (!net->is_root(v) && (!agg.empty() || !a_set.empty())) {
-      const int64_t payload =
-          4 * wire_.counter_bits +
-          (agg.has_hint ? hint_values * wire_.value_bits : 0) +
-          static_cast<int64_t>(a_set.size()) * wire_.value_bits;
-      net->CountValues(static_cast<int64_t>(a_set.size()));
-      if (!net->SendToParent(v, payload)) {
-        agg = ValidationAgg{};  // lost uplink
-        a_set.clear();
+      if (a_set.empty()) {
+        a_set.swap(theirs);
+      } else {
+        a_set.insert(a_set.end(), theirs.begin(), theirs.end());
+        theirs.clear();
       }
     }
+    WaveSend send;
+    if (!agg.empty() || !a_set.empty()) {
+      send.payload_bits =
+          4 * wire.counter_bits +
+          (agg.has_hint ? hint_values * wire.value_bits : 0) +
+          static_cast<int64_t>(a_set.size()) * wire.value_bits;
+      send.value_count = static_cast<int64_t>(a_set.size());
+    }
+    return send;
   }
-  *window_values = std::move(a_inbox[static_cast<size_t>(net->root())]);
+  void OnLost(int v) {
+    inbox[static_cast<size_t>(v)] = ValidationAgg{};  // lost uplink
+    a_inbox[static_cast<size_t>(v)].clear();
+  }
+};
+
+}  // namespace
+
+ValidationAgg IqProtocol::ValidationWithWindow(
+    Network* net, const std::vector<int64_t>& values,
+    std::vector<int64_t>* window_values) {
+  // Eq. 1/2 window sanity: xi_l <= 0 <= xi_r, so the window always
+  // contains the current filter value.
+  WSNQ_DCHECK_LE(xi_l_, 0);
+  WSNQ_DCHECK_GE(xi_r_, 0);
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  std::vector<ValidationAgg>& inbox = ws_.PrepareAgg(n);
+  std::vector<std::vector<int64_t>>& a_inbox = ws_.PrepareWindows(n);
+  WindowValidationOps ops{net,
+                          values,
+                          prev_values_,
+                          wire_,
+                          filter_,
+                          filter_ + xi_l_,
+                          filter_ + xi_r_,
+                          options_.use_hints ? 1 : 0,
+                          inbox,
+                          a_inbox};
+  RunConvergecastWave(net, ops);
+  const std::vector<int64_t>& root_a =
+      a_inbox[static_cast<size_t>(net->root())];
+  window_values->assign(root_a.begin(), root_a.end());
   std::sort(window_values->begin(), window_values->end());
   return inbox[static_cast<size_t>(net->root())];
 }
@@ -194,7 +227,7 @@ void IqProtocol::RunRound(Network* net,
       // Request: f1 plus the interval bounds.
       net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
       const std::vector<int64_t> r = TopFConvergecast(
-          net, values_by_vertex, lo, hi, f1, /*largest=*/true, wire_);
+          net, values_by_vertex, lo, hi, f1, /*largest=*/true, wire_, &ws_);
       refinements_ = 1;
       if (!net->lossy()) {
         WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f1);
@@ -253,7 +286,7 @@ void IqProtocol::RunRound(Network* net,
       }
       net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
       const std::vector<int64_t> r = TopFConvergecast(
-          net, values_by_vertex, lo, hi, f2, /*largest=*/false, wire_);
+          net, values_by_vertex, lo, hi, f2, /*largest=*/false, wire_, &ws_);
       refinements_ = 1;
       if (!net->lossy()) {
         WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f2);

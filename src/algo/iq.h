@@ -98,6 +98,7 @@ class IqProtocol : public QuantileProtocol {
   int64_t tree_epoch_ = 0;
   std::deque<int64_t> deltas_;  // last (m-1) quantile deltas
   int64_t refinements_ = 0;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

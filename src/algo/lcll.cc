@@ -1,7 +1,8 @@
 #include "algo/lcll.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "algo/hist_codec.h"
 #include "algo/snapshot_bary.h"
@@ -23,7 +24,9 @@ LcllProtocol::LcllProtocol(int64_t k, int64_t range_min, int64_t range_max,
 
 int LcllProtocol::BucketId(int64_t value) const {
   if (value < window_lo_) return -1;
-  const int64_t idx = (value - window_lo_) / width_;
+  const int64_t offset = value - window_lo_;
+  const int64_t idx =
+      width_shift_ >= 0 ? offset >> width_shift_ : offset / width_;
   return idx >= buckets_ ? buckets_ : static_cast<int>(idx);
 }
 
@@ -46,6 +49,7 @@ void LcllProtocol::Initialize(Network* net,
                                 wire_.bucket_count_bits);
   }
   WSNQ_CHECK_GE(buckets_, 2);
+  prev_bucket_valid_ = false;
   if (options_.bucket_width > 0) {
     width_ = options_.bucket_width;
   } else {
@@ -54,6 +58,7 @@ void LcllProtocol::Initialize(Network* net,
         static_cast<int64_t>(buckets_) * static_cast<int64_t>(buckets_);
     width_ = std::max<int64_t>(1, (tau + b2 - 1) / b2);
   }
+  width_shift_ = PowerOfTwoShift(width_);
 
   // Query dissemination.
   net->FloodFromRoot(wire_.counter_bits);
@@ -64,8 +69,9 @@ void LcllProtocol::Initialize(Network* net,
       options_.direct_retrieval
           ? net->packetizer().ValuesPerPacket(wire_.value_bits)
           : 0;
-  const DrillResult init = BAryDrill(net, values, range_min_, range_max_ + 1,
-                                     /*below_lb=*/0, k_, drill, wire_);
+  const DrillResult init =
+      BAryDrill(net, values, range_min_, range_max_ + 1,
+                /*below_lb=*/0, k_, drill, wire_, /*less_than_ub=*/-1, &ws_);
   quantile_ = init.quantile;
   counts_ = init.counts;
   // Focus the window on the quantile and learn its histogram.
@@ -74,43 +80,118 @@ void LcllProtocol::Initialize(Network* net,
 
 void LcllProtocol::Validate(Network* net,
                             const std::vector<int64_t>& values) {
-  const SpanningTree& tree = net->tree();
-  // inbox[v]: sparse (bucket id -> signed delta) map of v's subtree.
-  std::vector<std::map<int, int64_t>> inbox(
-      static_cast<size_t>(net->num_vertices()));
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    std::map<int, int64_t>& deltas = inbox[static_cast<size_t>(v)];
-    if (!net->is_root(v)) {
-      const size_t i = static_cast<size_t>(v);
-      const int from = BucketId(prev_values_[i]);
-      const int to = BucketId(values[i]);
-      if (from != to) {
-        // "The last bucket of the node is reduced by 1 ... the count of the
-        // new bucket is increased by one" (§5.1.6).
-        if (--deltas[from] == 0) deltas.erase(from);
-        if (++deltas[to] == 0) deltas.erase(to);
-      }
+  // inbox[v]: sparse (bucket id, signed delta) row of v's subtree, sorted
+  // by bucket id — the struct-of-arrays form of a per-vertex ordered map,
+  // merged bottom-up with a linear two-pointer sweep.
+  std::vector<std::vector<std::pair<int, int64_t>>>& inbox =
+      ws_.PrepareDeltas(static_cast<size_t>(net->num_vertices()));
+
+  // Prescan: most rounds most values stay in their bucket, so the wave
+  // below would do nothing at most vertices. One flat pass finds the
+  // vertices whose bucket moved and flags their root paths; the wave then
+  // skips every unflagged vertex (its subtree provably carries no deltas,
+  // so it would neither merge nor transmit). The flagged set transmits the
+  // identical payloads in the identical post order as the full sweep.
+  const size_t n = static_cast<size_t>(net->num_vertices());
+  const size_t root = static_cast<size_t>(net->root());
+  if (!prev_bucket_valid_ || prev_bucket_window_lo_ != window_lo_ ||
+      prev_bucket_.size() != n) {
+    prev_bucket_.resize(n);
+    for (size_t v = 0; v < n; ++v) {
+      prev_bucket_[v] = BucketId(prev_values_[v]);
     }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      for (const auto& [bucket, delta] :
-           inbox[static_cast<size_t>(child)]) {
-        if ((deltas[bucket] += delta) == 0) deltas.erase(bucket);
-      }
-      inbox[static_cast<size_t>(child)].clear();
-    }
-    if (!net->is_root(v) && !deltas.empty()) {
-      const int64_t entry_bits =
-          wire_.bucket_index_bits + wire_.bucket_count_bits;
-      const int64_t dense_bits =
-          static_cast<int64_t>(buckets_ + 2) * wire_.bucket_count_bits;
-      if (!net->SendToParent(
-              v, std::min(static_cast<int64_t>(deltas.size()) * entry_bits,
-                          dense_bits))) {
-        deltas.clear();  // lost uplink
-      }
+    prev_bucket_valid_ = true;
+    prev_bucket_window_lo_ = window_lo_;
+  }
+  delta_dirty_.assign(n, 0);
+  delta_changed_.assign(n, 0);
+  delta_from_.resize(n);  // read only where delta_changed_ is set
+  const std::vector<int>& parent = net->tree().parent;
+  for (size_t v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const int to = BucketId(values[v]);
+    const int from = prev_bucket_[v];
+    if (to == from) continue;
+    delta_changed_[v] = 1;
+    delta_from_[v] = from;
+    prev_bucket_[v] = to;
+    for (int u = static_cast<int>(v);
+         u >= 0 && !delta_dirty_[static_cast<size_t>(u)];
+         u = parent[static_cast<size_t>(u)]) {
+      delta_dirty_[static_cast<size_t>(u)] = 1;
     }
   }
+
+  struct Ops {
+    LcllProtocol* self;
+    Network* net;
+    std::vector<std::vector<std::pair<int, int64_t>>>& inbox;
+    int64_t entry_bits;
+    int64_t dense_bits;
+
+    WaveSend Process(int v, WaveLane& lane) {
+      const size_t i = static_cast<size_t>(v);
+      if (!self->delta_dirty_[i]) return WaveSend{};
+      std::vector<std::pair<int, int64_t>>& deltas = inbox[i];
+      if (self->delta_changed_[i]) {
+        const int from = self->delta_from_[i];
+        const int to = self->prev_bucket_[i];  // prescan stored the new id
+        // "The last bucket of the node is reduced by 1 ... the count of
+        // the new bucket is increased by one" (§5.1.6).
+        if (from < to) {
+          deltas.emplace_back(from, -1);
+          deltas.emplace_back(to, 1);
+        } else {
+          deltas.emplace_back(to, 1);
+          deltas.emplace_back(from, -1);
+        }
+      }
+      for (int child : net->tree().children[static_cast<size_t>(v)]) {
+        std::vector<std::pair<int, int64_t>>& theirs =
+            inbox[static_cast<size_t>(child)];
+        if (theirs.empty()) continue;
+        if (deltas.empty()) {
+          deltas.swap(theirs);
+          continue;
+        }
+        std::vector<std::pair<int, int64_t>>& merged = lane.pair_scratch;
+        merged.clear();
+        merged.reserve(deltas.size() + theirs.size());
+        size_t a = 0;
+        size_t b = 0;
+        while (a < deltas.size() && b < theirs.size()) {
+          if (deltas[a].first < theirs[b].first) {
+            merged.push_back(deltas[a++]);
+          } else if (theirs[b].first < deltas[a].first) {
+            merged.push_back(theirs[b++]);
+          } else {
+            const int64_t sum = deltas[a].second + theirs[b].second;
+            if (sum != 0) merged.emplace_back(deltas[a].first, sum);
+            ++a;
+            ++b;
+          }
+        }
+        merged.insert(merged.end(), deltas.begin() + a, deltas.end());
+        merged.insert(merged.end(), theirs.begin() + b, theirs.end());
+        deltas.swap(merged);
+        theirs.clear();
+      }
+      WaveSend send;
+      if (!deltas.empty()) {
+        send.payload_bits =
+            std::min(static_cast<int64_t>(deltas.size()) * entry_bits,
+                     dense_bits);
+      }
+      return send;
+    }
+    void OnLost(int v) { inbox[static_cast<size_t>(v)].clear(); }
+  };
+  Ops ops{this,
+          net,
+          inbox,
+          wire_.bucket_index_bits + wire_.bucket_count_bits,
+          static_cast<int64_t>(buckets_ + 2) * wire_.bucket_count_bits};
+  RunConvergecastWave(net, ops);
   for (const auto& [bucket, delta] : inbox[static_cast<size_t>(net->root())]) {
     if (bucket < 0) {
       below_ += delta;
@@ -148,44 +229,61 @@ void LcllProtocol::Reestablish(Network* net,
   net->FloodFromRoot(2 * wire_.bound_bits);
   ++refinements_;
 
-  // Full-network histogram convergecast over the b + 2 logical buckets.
-  const SpanningTree& tree = net->tree();
-  std::vector<std::vector<int64_t>> inbox(
-      static_cast<size_t>(net->num_vertices()));
+  // Full-network histogram convergecast over the b + 2 logical buckets,
+  // accumulated in the workspace's flat histogram arena (rows are zeroed
+  // lazily; a subtree whose total is zero is never read, so lost subtrees
+  // cost nothing).
   const size_t logical = static_cast<size_t>(buckets_) + 2;
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    std::vector<int64_t>& h = inbox[static_cast<size_t>(v)];
-    if (h.empty()) h.assign(logical, 0);
-    if (!net->is_root(v)) {
-      ++h[static_cast<size_t>(BucketId(values[static_cast<size_t>(v)]) + 1)];
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      auto& th = inbox[static_cast<size_t>(child)];
-      if (!th.empty()) {
-        for (size_t i = 0; i < logical; ++i) h[i] += th[i];
+  ws_.PrepareHist(static_cast<size_t>(net->num_vertices()), logical);
+  struct Ops {
+    LcllProtocol* self;
+    Network* net;
+    const std::vector<int64_t>& values;
+    WaveWorkspace* ws;
+    size_t logical;
+    int64_t entry_bits;
+    int64_t dense_bits;
+
+    WaveSend Process(int v, WaveLane& /*lane*/) {
+      int64_t total = 0;
+      int64_t* row = nullptr;
+      if (!net->is_root(v)) {
+        row = ws->HistRow(v);
+        ++row[static_cast<size_t>(
+            self->BucketId(values[static_cast<size_t>(v)]) + 1)];
+        total = 1;
       }
-      th.clear();
-      th.shrink_to_fit();
-    }
-    if (!net->is_root(v)) {
-      int64_t nonempty = 0;
-      for (int64_t c : h) nonempty += (c != 0);
-      const int64_t entry_bits =
-          wire_.bucket_index_bits + wire_.bucket_count_bits;
-      const int64_t dense_bits =
-          static_cast<int64_t>(logical) * wire_.bucket_count_bits;
-      if (!net->SendToParent(
-              v, std::min(nonempty * entry_bits, dense_bits))) {
-        std::fill(h.begin(), h.end(), 0);  // lost uplink
+      for (int child : net->tree().children[static_cast<size_t>(v)]) {
+        const int64_t child_total = ws->HistTotal(child);
+        if (child_total == 0) continue;
+        const int64_t* theirs = ws->HistRow(child);
+        if (row == nullptr) row = ws->HistRow(v);
+        for (size_t i = 0; i < logical; ++i) row[i] += theirs[i];
+        total += child_total;
       }
+      ws->HistTotal(v) = total;
+      WaveSend send;
+      if (!net->is_root(v)) {
+        int64_t nonempty = 0;
+        for (size_t i = 0; i < logical; ++i) nonempty += (row[i] != 0);
+        send.payload_bits = std::min(nonempty * entry_bits, dense_bits);
+      }
+      return send;
     }
-  }
-  const std::vector<int64_t>& root_hist =
-      inbox[static_cast<size_t>(net->root())];
+    void OnLost(int v) { ws->HistTotal(v) = 0; }
+  };
+  Ops ops{this,
+          net,
+          values,
+          &ws_,
+          logical,
+          wire_.bucket_index_bits + wire_.bucket_count_bits,
+          static_cast<int64_t>(logical) * wire_.bucket_count_bits};
+  RunConvergecastWave(net, ops);
+  const int64_t* root_hist = ws_.HistRow(net->root());
   below_ = root_hist[0];
   above_ = root_hist[logical - 1];
-  hist_.assign(root_hist.begin() + 1, root_hist.end() - 1);
+  hist_.assign(root_hist + 1, root_hist + (logical - 1));
   WSNQ_CHECK_EQ(static_cast<int>(hist_.size()), buckets_);
 }
 
@@ -205,7 +303,8 @@ void LcllProtocol::Slip(Network* net, const std::vector<int64_t>& values,
   ++refinements_;
   const BucketLayout layout(new_lo, new_hi, buckets_);
   WSNQ_CHECK_EQ(layout.width(), width_);
-  const SparseHistogram nh = HistogramConvergecast(net, values, layout, wire_);
+  const SparseHistogram nh =
+      HistogramConvergecast(net, values, layout, wire_, &ws_);
 
   std::vector<int64_t> new_hist(static_cast<size_t>(buckets_), 0);
   for (int j = 0; j < layout.num_buckets(); ++j) {
@@ -298,8 +397,8 @@ void LcllProtocol::ResolveBucket(Network* net,
       options_.direct_retrieval
           ? net->packetizer().ValuesPerPacket(wire_.value_bits)
           : 0;
-  const DrillResult result =
-      BAryDrill(net, values, blo, bhi, cl, k_, drill, wire_);
+  const DrillResult result = BAryDrill(net, values, blo, bhi, cl, k_, drill,
+                                       wire_, /*less_than_ub=*/-1, &ws_);
   refinements_ += result.rounds;
   quantile_ = result.quantile;
   counts_ = result.counts;
@@ -358,7 +457,8 @@ void LcllProtocol::RunRound(Network* net,
               : 0;
       const DrillResult result =
           BAryDrill(net, values_by_vertex, range_min_, window_lo_,
-                    /*below_lb=*/0, k_, drill, wire_);
+                    /*below_lb=*/0, k_, drill, wire_, /*less_than_ub=*/-1,
+                    &ws_);
       refinements_ += result.rounds;
       quantile_ = result.quantile;
       counts_ = result.counts;
@@ -388,7 +488,7 @@ void LcllProtocol::RunRound(Network* net,
               : 0;
       const DrillResult result = BAryDrill(
           net, values_by_vertex, window_lo_ + span(), range_max_ + 1,
-          below_ + in_window, k_, drill, wire_);
+          below_ + in_window, k_, drill, wire_, /*less_than_ub=*/-1, &ws_);
       refinements_ += result.rounds;
       quantile_ = result.quantile;
       counts_ = result.counts;

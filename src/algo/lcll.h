@@ -100,6 +100,9 @@ class LcllProtocol : public QuantileProtocol {
   Options options_;
   int buckets_ = 0;
   int64_t width_ = 1;
+  /// log2(width_) when it is a power of two, else -1: BucketId runs twice
+  /// per sensor per validation wave, so the division matters.
+  int width_shift_ = 0;
 
   int64_t window_lo_ = 0;
   std::vector<int64_t> hist_;  // window bucket counts
@@ -109,10 +112,24 @@ class LcllProtocol : public QuantileProtocol {
   int64_t quantile_ = 0;
   RootCounts counts_;
   std::vector<int64_t> prev_values_;
+  /// BucketId(prev_values_[v]) under prev_bucket_window_lo_, maintained so
+  /// the steady-state validation prescan costs one compare per vertex
+  /// instead of recomputing last round's bucket. Rebuilt whenever the
+  /// window moves (refinements) or the protocol re-initializes.
+  std::vector<int> prev_bucket_;
+  int64_t prev_bucket_window_lo_ = 0;
+  bool prev_bucket_valid_ = false;
+  /// Validation-wave scratch (see Validate): delta_dirty_[v] — v's subtree
+  /// carries deltas this round; delta_changed_[v] — v's own bucket moved,
+  /// with the old bucket stashed in delta_from_[v].
+  std::vector<uint8_t> delta_dirty_;
+  std::vector<uint8_t> delta_changed_;
+  std::vector<int> delta_from_;
   /// Network::tree_epoch() the state was initialized under; a mismatch
   /// (fault-driven tree repair) forces re-initialization.
   int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

@@ -30,7 +30,7 @@ void MultiIqProtocol::Initialize(Network* net,
   // every rank at once.
   net->FloodFromRoot(wire_.counter_bits);
   const std::vector<int64_t> collected =
-      CollectKSmallest(net, values, ks_.back(), wire_);
+      CollectKSmallest(net, values, ks_.back(), wire_, &ws_);
   WSNQ_CHECK_GE(static_cast<int64_t>(collected.size()), ks_.back());
   for (RankState& state : states_) {
     state.filter = collected[static_cast<size_t>(state.k - 1)];
@@ -67,70 +67,89 @@ void MultiIqProtocol::RunRound(Network* net,
   WSNQ_CHECK_EQ(prev_values_.size(), values_by_vertex.size());
 
   // --- Shared validation convergecast ------------------------------------
-  const SpanningTree& tree = net->tree();
+  // aggs[v * m + j] / windows[v * m + j]: rank j's aggregate and window
+  // multiset of v's subtree, as flat workspace rows. The windows family is
+  // independent of the collection rows, so the per-rank refinements issued
+  // below can run while the root windows are still being consumed.
   const size_t m = ks_.size();
   const size_t vertices = static_cast<size_t>(net->num_vertices());
-  // inbox[v * m + j]: rank j's aggregate of v's subtree.
-  std::vector<ValidationAgg> aggs(vertices * m);
-  std::vector<std::vector<int64_t>> windows(vertices * m);
-  net->NoteConvergecast();
-  for (int v : tree.post_order) {
-    const size_t base = static_cast<size_t>(v) * m;
-    bool any = false;
-    if (!net->is_root(v)) {
-      const size_t i = static_cast<size_t>(v);
-      for (size_t j = 0; j < m; ++j) {
-        const RankState& state = states_[j];
-        aggs[base + j].AddTransition(
-            ClassifyThreshold(prev_values_[i], state.filter),
-            ClassifyThreshold(values_by_vertex[i], state.filter),
-            values_by_vertex[i]);
-        if (values_by_vertex[i] >= state.filter + state.xi_l &&
-            values_by_vertex[i] <= state.filter + state.xi_r &&
-            values_by_vertex[i] != state.filter) {
-          windows[base + j].push_back(values_by_vertex[i]);
-        }
-      }
-    }
-    for (int child : tree.children[static_cast<size_t>(v)]) {
-      const size_t child_base = static_cast<size_t>(child) * m;
-      for (size_t j = 0; j < m; ++j) {
-        aggs[base + j].Merge(aggs[child_base + j]);
-        auto& theirs = windows[child_base + j];
-        windows[base + j].insert(windows[base + j].end(), theirs.begin(),
-                                 theirs.end());
-        theirs.clear();
-      }
-    }
-    int64_t payload = static_cast<int64_t>(m);  // per-rank presence bitmap
-    for (size_t j = 0; j < m; ++j) {
-      if (!aggs[base + j].empty()) {
-        payload += 4 * wire_.counter_bits +
-                   (aggs[base + j].has_hint && options_.use_hints
-                        ? wire_.value_bits
-                        : 0);
-        any = true;
-      }
-      if (!windows[base + j].empty()) {
-        payload += static_cast<int64_t>(windows[base + j].size()) *
-                   wire_.value_bits;
-        any = true;
-      }
-    }
-    if (!net->is_root(v) && any) {
-      int64_t window_values = 0;
-      for (size_t j = 0; j < m; ++j) {
-        window_values += static_cast<int64_t>(windows[base + j].size());
-      }
-      net->CountValues(window_values);
-      if (!net->SendToParent(v, payload)) {
+  std::vector<ValidationAgg>& aggs = ws_.PrepareAggRows(vertices, m);
+  std::vector<std::vector<int64_t>>& windows =
+      ws_.PrepareWindows(vertices * m);
+  struct Ops {
+    MultiIqProtocol* self;
+    Network* net;
+    const std::vector<int64_t>& values;
+    std::vector<ValidationAgg>& aggs;
+    std::vector<std::vector<int64_t>>& windows;
+    size_t m;
+
+    WaveSend Process(int v, WaveLane& /*lane*/) {
+      const size_t base = static_cast<size_t>(v) * m;
+      if (!net->is_root(v)) {
+        const size_t i = static_cast<size_t>(v);
         for (size_t j = 0; j < m; ++j) {
-          aggs[base + j] = ValidationAgg{};
-          windows[base + j].clear();
+          const RankState& state = self->states_[j];
+          aggs[base + j].AddTransition(
+              ClassifyThreshold(self->prev_values_[i], state.filter),
+              ClassifyThreshold(values[i], state.filter), values[i]);
+          if (values[i] >= state.filter + state.xi_l &&
+              values[i] <= state.filter + state.xi_r &&
+              values[i] != state.filter) {
+            windows[base + j].push_back(values[i]);
+          }
         }
       }
+      for (int child : net->tree().children[static_cast<size_t>(v)]) {
+        const size_t child_base = static_cast<size_t>(child) * m;
+        for (size_t j = 0; j < m; ++j) {
+          aggs[base + j].Merge(aggs[child_base + j]);
+          std::vector<int64_t>& theirs = windows[child_base + j];
+          if (theirs.empty()) continue;
+          std::vector<int64_t>& mine = windows[base + j];
+          if (mine.empty()) {
+            mine.swap(theirs);
+          } else {
+            mine.insert(mine.end(), theirs.begin(), theirs.end());
+            theirs.clear();
+          }
+        }
+      }
+      int64_t payload = static_cast<int64_t>(m);  // per-rank presence bitmap
+      int64_t window_values = 0;
+      bool any = false;
+      for (size_t j = 0; j < m; ++j) {
+        if (!aggs[base + j].empty()) {
+          payload += 4 * self->wire_.counter_bits +
+                     (aggs[base + j].has_hint && self->options_.use_hints
+                          ? self->wire_.value_bits
+                          : 0);
+          any = true;
+        }
+        if (!windows[base + j].empty()) {
+          payload += static_cast<int64_t>(windows[base + j].size()) *
+                     self->wire_.value_bits;
+          window_values += static_cast<int64_t>(windows[base + j].size());
+          any = true;
+        }
+      }
+      WaveSend send;
+      if (any) {
+        send.payload_bits = payload;
+        send.value_count = window_values;
+      }
+      return send;
     }
-  }
+    void OnLost(int v) {
+      const size_t base = static_cast<size_t>(v) * m;
+      for (size_t j = 0; j < m; ++j) {
+        aggs[base + j] = ValidationAgg{};
+        windows[base + j].clear();
+      }
+    }
+  };
+  Ops ops{this, net, values_by_vertex, aggs, windows, m};
+  RunConvergecastWave(net, ops);
   prev_values_ = values_by_vertex;
 
   // --- Per-rank resolution -------------------------------------------------
@@ -198,8 +217,8 @@ int64_t MultiIqProtocol::ResolveRank(Network* net,
       lo = std::max(range_min_, v_old - d);
     }
     net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
-    const std::vector<int64_t> r =
-        TopFConvergecast(net, values, lo, hi, f1, /*largest=*/true, wire_);
+    const std::vector<int64_t> r = TopFConvergecast(
+        net, values, lo, hi, f1, /*largest=*/true, wire_, &ws_);
     ++refinements_;
     WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f1);
     const int64_t q = r[r.size() - static_cast<size_t>(f1)];
@@ -240,8 +259,8 @@ int64_t MultiIqProtocol::ResolveRank(Network* net,
     hi = std::min(range_max_, v_old + d);
   }
   net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
-  const std::vector<int64_t> r =
-      TopFConvergecast(net, values, lo, hi, f2, /*largest=*/false, wire_);
+  const std::vector<int64_t> r = TopFConvergecast(
+      net, values, lo, hi, f2, /*largest=*/false, wire_, &ws_);
   ++refinements_;
   WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f2);
   const int64_t q = r[static_cast<size_t>(f2 - 1)];

@@ -81,6 +81,7 @@ class MultiIqProtocol {
   /// (fault-driven tree repair) forces re-initialization.
   int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

@@ -37,6 +37,28 @@ int64_t OracleRankError(const std::vector<int64_t>& sensor_values,
   return 0;
 }
 
+int64_t OracleKthSorted(const std::vector<int64_t>& sorted_sensor_values,
+                        int64_t k) {
+  WSNQ_CHECK_GE(k, 1);
+  WSNQ_CHECK_LE(k, static_cast<int64_t>(sorted_sensor_values.size()));
+  WSNQ_DCHECK(std::is_sorted(sorted_sensor_values.begin(),
+                             sorted_sensor_values.end()));
+  return sorted_sensor_values[static_cast<size_t>(k - 1)];
+}
+
+int64_t OracleRankErrorSorted(
+    const std::vector<int64_t>& sorted_sensor_values, int64_t reported,
+    int64_t k) {
+  const auto lo = std::lower_bound(sorted_sensor_values.begin(),
+                                   sorted_sensor_values.end(), reported);
+  const auto hi = std::upper_bound(lo, sorted_sensor_values.end(), reported);
+  const int64_t less = lo - sorted_sensor_values.begin();
+  const int64_t less_equal = hi - sorted_sensor_values.begin();
+  if (k <= less) return less + 1 - k;                // reported sits too high
+  if (k > less_equal) return k - less_equal;         // too low
+  return 0;
+}
+
 std::vector<int64_t> SensorValues(
     const Network& net, const std::vector<int64_t>& values_by_vertex) {
   std::vector<int64_t> sensors;

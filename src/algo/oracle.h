@@ -28,6 +28,18 @@ RootCounts OracleCounts(const std::vector<int64_t>& sensor_values,
 int64_t OracleRankError(const std::vector<int64_t>& sensor_values,
                         int64_t reported, int64_t k);
 
+/// OracleKth over an ascending-sorted snapshot: O(1) instead of a copy
+/// plus selection. Values are integers, so sorted[k-1] is exactly the
+/// value nth_element selects.
+int64_t OracleKthSorted(const std::vector<int64_t>& sorted_sensor_values,
+                        int64_t k);
+
+/// OracleRankError over an ascending-sorted snapshot: two binary searches
+/// give the same (l, e) counts a linear scan would.
+int64_t OracleRankErrorSorted(
+    const std::vector<int64_t>& sorted_sensor_values, int64_t reported,
+    int64_t k);
+
 /// Extracts the sensor measurements (every vertex except the root) from a
 /// per-vertex value vector.
 std::vector<int64_t> SensorValues(const Network& net,

@@ -26,7 +26,7 @@ void PosProtocol::Initialize(Network* net,
   // equivalent to TAG").
   net->FloodFromRoot(wire_.counter_bits);
   const std::vector<int64_t> collected =
-      CollectKSmallest(net, values, k_, wire_);
+      CollectKSmallest(net, values, k_, wire_, &ws_);
   if (!net->lossy()) {
     WSNQ_CHECK_GE(static_cast<int64_t>(collected.size()), k_);
   }
@@ -61,7 +61,8 @@ void PosProtocol::RunRound(Network* net,
         const size_t i = static_cast<size_t>(v);
         return std::pair(ClassifyThreshold(prev[i], filter),
                          ClassifyThreshold(values_by_vertex[i], filter));
-      });
+      },
+      &ws_);
   ApplyCounters(validation, net->num_sensors(), &counts_);
   if (!net->lossy()) {
     WSNQ_DCHECK(CountsConserved(counts_, net->num_sensors()));
@@ -142,7 +143,8 @@ void PosProtocol::Refine(Network* net, const std::vector<int64_t>& values,
           const int64_t value = values[static_cast<size_t>(v)];
           return std::pair(ClassifyThreshold(value, current),
                            ClassifyThreshold(value, mid));
-        });
+        },
+        &ws_);
     ApplyCounters(agg, n, &counts_);
     ++refinements_;
     current = mid;
@@ -172,7 +174,7 @@ void PosProtocol::DirectRetrieve(Network* net,
                    {"hi", hi});
   net->FloodFromRoot(2 * wire_.bound_bits);
   const std::vector<int64_t> collected =
-      RangeValuesConvergecast(net, values, lo, hi, wire_);
+      RangeValuesConvergecast(net, values, lo, hi, wire_, &ws_);
   ++refinements_;
   const int64_t rank_in_interval = k_ - below_lo;  // 1-based
   if (!net->lossy()) {

@@ -70,6 +70,7 @@ class PosProtocol : public QuantileProtocol {
   /// (fault-driven tree repair) forces re-initialization.
   int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

@@ -21,7 +21,7 @@ void PosSrProtocol::Initialize(Network* net,
                                const std::vector<int64_t>& values) {
   net->FloodFromRoot(wire_.counter_bits);
   const std::vector<int64_t> collected =
-      CollectKSmallest(net, values, k_, wire_);
+      CollectKSmallest(net, values, k_, wire_, &ws_);
   if (!net->lossy()) {
     WSNQ_CHECK_GE(static_cast<int64_t>(collected.size()), k_);
   }
@@ -53,7 +53,8 @@ void PosSrProtocol::RunRound(Network* net,
         const size_t i = static_cast<size_t>(v);
         return std::pair(ClassifyThreshold(prev[i], filter),
                          ClassifyThreshold(values_by_vertex[i], filter));
-      });
+      },
+      &ws_);
   ApplyCounters(validation, net->num_sensors(), &counts_);
   prev_values_ = values_by_vertex;
 
@@ -75,7 +76,7 @@ void PosSrProtocol::RunRound(Network* net,
       net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
       const std::vector<int64_t> r =
           TopFConvergecast(net, values_by_vertex, lo, v_old - 1, f1,
-                           /*largest=*/true, wire_);
+                           /*largest=*/true, wire_, &ws_);
       refinements_ = 1;
       if (!net->lossy()) {
         WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f1);
@@ -99,7 +100,7 @@ void PosSrProtocol::RunRound(Network* net,
       net->FloodFromRoot(wire_.fcount_bits + 2 * wire_.bound_bits);
       const std::vector<int64_t> r =
           TopFConvergecast(net, values_by_vertex, v_old + 1, hi, f2,
-                           /*largest=*/false, wire_);
+                           /*largest=*/false, wire_, &ws_);
       refinements_ = 1;
       if (!net->lossy()) {
         WSNQ_CHECK_GE(static_cast<int64_t>(r.size()), f2);

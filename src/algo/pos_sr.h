@@ -59,6 +59,7 @@ class PosSrProtocol : public QuantileProtocol {
   /// (fault-driven tree repair) forces re-initialization.
   int64_t tree_epoch_ = 0;
   int64_t refinements_ = 0;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

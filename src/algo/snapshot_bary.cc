@@ -10,7 +10,7 @@ namespace wsnq {
 DrillResult BAryDrill(Network* net, const std::vector<int64_t>& values,
                       int64_t lb, int64_t ub, int64_t below_lb, int64_t k,
                       const DrillOptions& options, const WireFormat& wire,
-                      int64_t less_than_ub) {
+                      int64_t less_than_ub, WaveWorkspace* ws) {
   WSNQ_CHECK_LT(lb, ub);
   if (below_lb >= 0) {
     WSNQ_CHECK_LT(below_lb, k);
@@ -45,7 +45,7 @@ DrillResult BAryDrill(Network* net, const std::vector<int64_t>& values,
       // Direct value retrieval (§4.1.1 improvement).
       net->FloodFromRoot(2 * wire.bound_bits);
       const std::vector<int64_t> collected =
-          RangeValuesConvergecast(net, values, lb, ub - 1, wire);
+          RangeValuesConvergecast(net, values, lb, ub - 1, wire, ws);
       ++result.rounds;
       const int64_t rank = k - cl;  // 1-based within the interval
       if (!net->lossy()) {
@@ -69,7 +69,7 @@ DrillResult BAryDrill(Network* net, const std::vector<int64_t>& values,
     const BucketLayout layout(lb, ub, options.buckets);
     net->FloodFromRoot(2 * wire.bound_bits);
     const SparseHistogram hist =
-        HistogramConvergecast(net, values, layout, wire);
+        HistogramConvergecast(net, values, layout, wire, ws);
     ++result.rounds;
     if (cl < 0) {
       // Downward HBC refinement: derive the count below lb from the count
@@ -143,7 +143,8 @@ void SnapshotBaryProtocol::RunRound(
     net->FloodFromRoot(wire_.counter_bits);
   }
   result_ = BAryDrill(net, values_by_vertex, range_min_, range_max_ + 1,
-                      /*below_lb=*/0, k_, options_, wire_);
+                      /*below_lb=*/0, k_, options_, wire_,
+                      /*less_than_ub=*/-1, &ws_);
 }
 
 }  // namespace wsnq

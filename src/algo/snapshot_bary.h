@@ -62,7 +62,7 @@ struct DrillOptions {
 DrillResult BAryDrill(Network* net, const std::vector<int64_t>& values,
                       int64_t lb, int64_t ub, int64_t below_lb, int64_t k,
                       const DrillOptions& options, const WireFormat& wire,
-                      int64_t less_than_ub = -1);
+                      int64_t less_than_ub = -1, WaveWorkspace* ws = nullptr);
 
 /// Stand-alone snapshot protocol: one full b-ary search per round.
 class SnapshotBaryProtocol : public QuantileProtocol {
@@ -89,6 +89,7 @@ class SnapshotBaryProtocol : public QuantileProtocol {
   WireFormat wire_;
   DrillOptions options_;
   DrillResult result_;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

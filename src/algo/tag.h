@@ -35,6 +35,7 @@ class TagProtocol : public QuantileProtocol {
   WireFormat wire_;
   int64_t quantile_ = 0;
   RootCounts counts_;
+  WaveWorkspace ws_;
 };
 
 }  // namespace wsnq

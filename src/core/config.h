@@ -73,6 +73,13 @@ struct SimulationConfig {
   /// 1 = the legacy serial path.
   int threads = 0;
 
+  /// Partition every convergecast wave at a balanced cut of the routing
+  /// tree's subtrees and simulate the parts as independent pool tasks
+  /// (net/wave.h), replaying recorded sends in exact serial post order.
+  /// Aggregates, metrics, and traces are bit-identical to the serial sweep
+  /// for every thread count and partition choice; off by default.
+  bool subtree_parallel = false;
+
   /// Verify every round's answer against the centralized oracle (cheap;
   /// leave on outside micro-benchmarks).
   bool check_oracle = true;

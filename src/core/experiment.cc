@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
+#include "net/wave.h"
 #include "core/scenario.h"
 #include "core/scenario_cache.h"
 #include "core/simulation.h"
@@ -57,8 +59,12 @@ void FoldRun(const SimulationResult& result, AlgorithmAggregate* agg)
 Status ExecuteRun(const SimulationConfig& config,
                   const std::vector<ProtocolFactory>& factories, int run,
                   std::vector<SimulationResult>* results,
-                  trace::TraceBuffer* buffer, ScenarioCache* cache) {
+                  trace::TraceBuffer* buffer, ScenarioCache* cache,
+                  int wave_threads) {
   trace::RunScope trace_scope(buffer);
+  // Declared before the scenario so the Network never outlives the
+  // executor it borrows (it is installed below, not owned).
+  std::optional<WaveExecutor> wave_executor;
   StatusOr<Scenario> scenario = [&] {
     // With a prepared cache this is assembly only (all artifact lookups
     // hit); the construction cost then shows up under
@@ -67,6 +73,15 @@ Status ExecuteRun(const SimulationConfig& config,
     return BuildScenario(config, run, cache);
   }();
   if (!scenario.ok()) return scenario.status();
+  if (config.subtree_parallel) {
+    // Each run gets its own wave pool so in-run subtree tasks never nest
+    // into the run-level pool (which would deadlock its ParallelFor).
+    // Oversplitting by 4x keeps the parts load-balanced; the partition
+    // never changes a bit of output, only wall-clock.
+    wave_executor.emplace(std::max(1, wave_threads),
+                          /*target_parts=*/4 * std::max(1, wave_threads));
+    scenario.value().network->set_wave_executor(&*wave_executor);
+  }
   // Materialize the rounds × vertices value matrix once per run: every
   // factory's replay reads the identical rows instead of re-deriving them
   // per protocol (the values are integers, so this is bit-identical to the
@@ -74,6 +89,9 @@ Status ExecuteRun(const SimulationConfig& config,
   {
     prof::ScopedTimer timer("experiment/materialize_values");
     scenario.value().MaterializeValues(config.rounds + 1);
+    // One ascending sensor snapshot per round, shared by every factory's
+    // oracle check (core/simulation.cc reads it via SortedSensorsView).
+    if (config.check_oracle) scenario.value().MaterializeSortedSensors();
   }
   prof::ScopedTimer timer("experiment/run_protocols");
   for (size_t i = 0; i < factories.size(); ++i) {
@@ -114,14 +132,20 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperimentImpl(
     return sink != nullptr ? &buffers[static_cast<size_t>(run)] : nullptr;
   };
 
-  const int threads = std::min<int>(ResolveThreads(config.threads), runs);
+  const int resolved = ResolveThreads(config.threads);
+  const int threads = std::min<int>(resolved, runs);
+  // Threads left over after the run-level fan-out go to in-run subtree
+  // parallelism (e.g. 8 threads x 4 runs -> 2 wave threads per run). The
+  // wave engine's record/replay fold makes the split invisible in every
+  // output bit, so this only reshapes where the wall-clock goes.
+  const int wave_threads = std::max(1, resolved / std::max(1, threads));
   if (threads <= 1) {
     // Legacy serial path (--threads=1): build, replay, and fold one run at
     // a time; aborts on the first scenario failure.
     std::vector<SimulationResult> results(factories.size());
     for (int run = 0; run < runs; ++run) {
       Status status = ExecuteRun(config, factories, run, &results,
-                                 buffer_for(run), cache);
+                                 buffer_for(run), cache, wave_threads);
       if (!status.ok()) return status;
       prof::ScopedTimer timer("experiment/fold");
       // Serial path: this thread is the only one running, so the fold-phase
@@ -150,10 +174,10 @@ StatusOr<std::vector<AlgorithmAggregate>> RunExperimentImpl(
   Status status = pool.ParallelFor(runs, [&](int64_t run) {
     return ExecuteRun(config, factories, static_cast<int>(run),
                       &results[static_cast<size_t>(run)],
-                      buffer_for(static_cast<int>(run)), cache);
+                      buffer_for(static_cast<int>(run)), cache, wave_threads);
   });
   if (!status.ok()) return status;
-  prof::ScopedTimer timer("experiment/fold");
+  prof::ScopedTimer timer("experiment/sweep_fold");
   // ParallelFor has returned: every run task is done (happens-before via
   // the pool's join), so this thread may enter the fold phase.
   ScopedSerialPhase fold_phase(FoldPhase());

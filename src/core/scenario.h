@@ -91,11 +91,26 @@ struct Scenario {
   /// run's task owns its scenario exclusively (docs/hardening.md).
   const std::vector<int64_t>& ValuesView(int64_t round) const;
 
+  /// Precomputes, per materialized round, the ascending-sorted sensor
+  /// snapshot (root excluded): the ground-truth input of the oracle check,
+  /// shared by every protocol replay of the run. One sort per round here
+  /// replaces a copy + nth_element per (protocol, round) in RunSimulation;
+  /// the values are integers, so the sorted-order statistics are
+  /// bit-identical to the selection-based ones. Call after
+  /// MaterializeValues.
+  void MaterializeSortedSensors();
+
+  /// Ascending-sorted sensor snapshot of `round`, or nullptr when not
+  /// materialized (callers fall back to SensorValues + OracleKth).
+  const std::vector<int64_t>* SortedSensorsView(int64_t round) const;
+
  private:
   void FillRow(int64_t round, std::vector<int64_t>* row) const;
 
   /// value_rows_[round][vertex] for the materialized prefix of rounds.
   std::vector<std::vector<int64_t>> value_rows_;
+  /// sorted_sensor_rows_[round]: ascending sensor multiset of the round.
+  std::vector<std::vector<int64_t>> sorted_sensor_rows_;
   mutable std::vector<int64_t> scratch_row_;
 };
 

@@ -45,17 +45,20 @@ std::string SyntheticSourceKey(const SimulationConfig& config, int run) {
 
 std::string PressureTraceKey(const SimulationConfig& config) {
   const PressureTrace::Options& p = config.pressure;
-  // BuildScenario widens the trace to cover config.rounds + 2; the key must
-  // use the *effective* round count, because the generator draws the whole
+  // BuildScenario sizes the trace to exactly config.rounds + 2; the key must
+  // use that *effective* round count, because the generator draws the whole
   // regional series before the per-station terms — every sample depends on
   // how many samples exist.
-  const int64_t effective_rounds =
-      std::max<int64_t>(p.rounds, config.rounds + 2);
-  return Format("pt|seed=%llu|st=%d|rounds=%lld|skip=%d|range=%d|mean=%a|"
+  const int64_t effective_rounds = config.rounds + 2;
+  // The stored trace is canonical (BuildScenario folds skip into max_skip),
+  // so only the coverage stride shapes the sample grid: every skip point a
+  // sweep's max_skip covers hits the same trace, SOM placement, and trees.
+  const int coverage = std::max(p.skip, p.max_skip);
+  return Format("pt|seed=%llu|st=%d|rounds=%lld|cov=%d|range=%d|mean=%a|"
                 "tsig=%a|ttau=%a|ptau=%a|osig=%a|ssig=%a|stau=%a|damp=%a|"
                 "spd=%a",
                 static_cast<unsigned long long>(config.seed), p.num_stations,
-                static_cast<long long>(effective_rounds), p.skip,
+                static_cast<long long>(effective_rounds), coverage,
                 static_cast<int>(p.range_setting), p.mean_pressure,
                 p.trend_sigma, p.trend_tau_samples, p.pressure_tau_samples,
                 p.station_offset_sigma, p.station_sigma, p.station_tau_samples,
@@ -69,8 +72,10 @@ std::string PressureWorkloadKey(const SimulationConfig& config) {
 
 std::string PressureDeploymentKey(const SimulationConfig& config) {
   // The SOM features are the trace's first measurements, so the placement
-  // inherits the full trace key (no placement sharing across skip values —
-  // the generator's draw order makes even sample 0 skip-dependent).
+  // inherits the full trace key. Skip points under one coverage stride
+  // share the sample grid and therefore the placement; distinct coverages
+  // do not — the generator's draw order makes even sample 0 depend on the
+  // grid size.
   return PressureTraceKey(config) + Format("|deploy|w=%a|h=%a|rho=%a",
                                            config.area_width,
                                            config.area_height,

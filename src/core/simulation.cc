@@ -89,12 +89,24 @@ SimulationResult RunSimulation(const Scenario& scenario,
     record.values = net->round_values();
     record.refinements = protocol->refinements_last_round();
     if (check_oracle) {
-      const std::vector<int64_t> sensors = SensorValues(*net, values);
-      record.correct =
-          protocol->quantile() == OracleKth(sensors, scenario.k);
-      if (!record.correct) ++result.errors;
-      record.rank_error =
-          OracleRankError(sensors, protocol->quantile(), scenario.k);
+      // Sorted snapshot when ExecuteRun precomputed it (one sort per round
+      // shared by every protocol replay); otherwise the classic per-round
+      // copy + selection. Both paths produce identical statistics.
+      const std::vector<int64_t>* sorted = scenario.SortedSensorsView(round);
+      if (sorted != nullptr) {
+        record.correct =
+            protocol->quantile() == OracleKthSorted(*sorted, scenario.k);
+        if (!record.correct) ++result.errors;
+        record.rank_error = OracleRankErrorSorted(
+            *sorted, protocol->quantile(), scenario.k);
+      } else {
+        const std::vector<int64_t> sensors = SensorValues(*net, values);
+        record.correct =
+            protocol->quantile() == OracleKth(sensors, scenario.k);
+        if (!record.correct) ++result.errors;
+        record.rank_error =
+            OracleRankError(sensors, protocol->quantile(), scenario.k);
+      }
       rank_error_sum += static_cast<double>(record.rank_error);
       result.max_rank_error =
           std::max(result.max_rank_error, record.rank_error);

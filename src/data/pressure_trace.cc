@@ -41,7 +41,13 @@ class OuProcess {
 PressureTrace::PressureTrace(const Options& options) : options_(options) {
   WSNQ_CHECK_GT(options_.num_stations, 0);
   WSNQ_CHECK_GE(options_.skip, 0);
-  num_samples_ = (options_.rounds + 1) * (options_.skip + 1) + 1;
+  WSNQ_CHECK_GE(options_.max_skip, 0);
+  // The sample grid covers the densest reader the trace must serve. The
+  // whole generator depends on this count (the regional series is drawn
+  // before the per-station terms), so max_skip changes every sample — it
+  // belongs in the cache key (see internal::PressureTraceKey).
+  const int64_t coverage = std::max(options_.skip, options_.max_skip);
+  num_samples_ = (options_.rounds + 1) * (coverage + 1) + 1;
 
   Rng rng(options_.seed);
 

@@ -44,6 +44,13 @@ class PressureTrace : public ValueSource {
     /// Samples skipped between consecutive rounds; round t reads underlying
     /// sample t * (skip + 1).
     int skip = 0;
+    /// Largest skip value this trace must be able to serve: the underlying
+    /// sample grid is generated at stride max(skip, max_skip) + 1, so one
+    /// trace covers a whole skip sweep (Fig. 10) — readers at skip s <=
+    /// max_skip index the same grid at stride s + 1 (see
+    /// StridedValueSource). 0 (the default) generates exactly the samples
+    /// `skip` needs, the historical behavior.
+    int max_skip = 0;
     RangeSetting range_setting = RangeSetting::kOptimistic;
     uint64_t seed = 1;
 

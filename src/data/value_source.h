@@ -43,6 +43,27 @@ class ValueSource {
   }
 };
 
+/// Subsampling view of another source: round t reads the underlying round
+/// t * (skip + 1). Lets one densely-sampled trace serve every point of a
+/// skip sweep (Fig. 10) instead of regenerating the trace per skip value.
+/// `source` must outlive this object and cover the strided round range.
+class StridedValueSource : public ValueSource {
+ public:
+  StridedValueSource(const ValueSource* source, int skip)
+      : source_(source), stride_(static_cast<int64_t>(skip) + 1) {}
+
+  int64_t Value(int sensor, int64_t round) const override {
+    return source_->Value(sensor, round * stride_);
+  }
+  int num_sensors() const override { return source_->num_sensors(); }
+  int64_t range_min() const override { return source_->range_min(); }
+  int64_t range_max() const override { return source_->range_max(); }
+
+ private:
+  const ValueSource* source_;
+  int64_t stride_;
+};
+
 }  // namespace wsnq
 
 #endif  // WSNQ_DATA_VALUE_SOURCE_H_

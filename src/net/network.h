@@ -34,6 +34,7 @@
 namespace wsnq {
 
 class Network;
+class WaveExecutor;
 
 /// Observer of every physical transmission a Network performs. Lives in
 /// net/ so the layering stays acyclic (net cannot include core); the
@@ -197,6 +198,13 @@ class Network {
   /// detach before destroying the observer.
   void set_send_observer(SendObserver* observer) { observer_ = observer; }
 
+  /// Registers the subtree-parallel wave executor the convergecast engine
+  /// (net/wave.h) fans out on; nullptr (the default) keeps the classic
+  /// serial wave loop. Not owned; the executor must outlive the
+  /// registration.
+  void set_wave_executor(WaveExecutor* executor) { wave_executor_ = executor; }
+  WaveExecutor* wave_executor() const { return wave_executor_; }
+
   // --- Round bookkeeping ---------------------------------------------------
 
   /// Resets the per-round counters, advances the round index, and gives
@@ -252,7 +260,8 @@ class Network {
   int64_t tree_epoch_ = 0;
   int64_t current_round_ = -1;  ///< BeginRound pre-increments: first round is 0
 
-  SendObserver* observer_ = nullptr;  ///< not owned
+  SendObserver* observer_ = nullptr;        ///< not owned
+  WaveExecutor* wave_executor_ = nullptr;  ///< not owned
 
   std::vector<double> round_energy_;
   std::vector<double> total_energy_;

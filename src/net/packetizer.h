@@ -33,8 +33,12 @@ struct Packetizer {
       out.total_bits = header_bits;
       return out;
     }
+    // Single-fragment messages dominate every workload; skip the division
+    // for them (Packetize runs once per send).
     out.packets =
-        (payload_bits + max_payload_bits - 1) / max_payload_bits;
+        payload_bits <= max_payload_bits
+            ? 1
+            : (payload_bits + max_payload_bits - 1) / max_payload_bits;
     out.total_bits = payload_bits + out.packets * header_bits;
     return out;
   }

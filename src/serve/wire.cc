@@ -111,9 +111,12 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
 
 std::vector<uint8_t> EncodeSubscribePayload(const SubscribeRequest& req) {
   WSNQ_CHECK_LE(req.field.size(), kMaxFieldBytes);
-  std::vector<uint8_t> out;
-  AppendU16(static_cast<uint16_t>(req.field.size()), &out);
-  out.insert(out.end(), req.field.begin(), req.field.end());
+  // Pre-sized + std::copy for the variable-length run (see
+  // EncodeErrorPayload on GCC 12's array-bounds false positive).
+  std::vector<uint8_t> out(2 + req.field.size());
+  out[0] = static_cast<uint8_t>(req.field.size());
+  out[1] = static_cast<uint8_t>(req.field.size() >> 8);
+  std::copy(req.field.begin(), req.field.end(), out.begin() + 2);
   AppendU32(req.rank_permille, &out);
   return out;
 }
@@ -196,11 +199,15 @@ StatusOr<AnswerPush> DecodeAnswerPayload(const std::vector<uint8_t>& payload) {
 }
 
 std::vector<uint8_t> EncodeErrorPayload(const std::string& message) {
-  std::vector<uint8_t> out;
   const size_t len = message.size() > 0xFFFF ? 0xFFFF : message.size();
-  AppendU16(static_cast<uint16_t>(len), &out);
-  const uint8_t* data = reinterpret_cast<const uint8_t*>(message.data());
-  out.insert(out.end(), data, data + len);
+  // Pre-sized + std::copy (not insert-from-pointer): GCC 12's array-bounds
+  // pass misjudges the grow-then-insert form as writing past the 2-byte
+  // length prefix.
+  std::vector<uint8_t> out(2 + len);
+  out[0] = static_cast<uint8_t>(len);
+  out[1] = static_cast<uint8_t>(len >> 8);
+  std::copy(message.begin(), message.begin() + static_cast<ptrdiff_t>(len),
+            out.begin() + 2);
   return out;
 }
 

@@ -199,6 +199,49 @@ TEST(PressureTraceTest, SkipSamplesWeakensCorrelation) {
   EXPECT_GT(churn(b), churn(a) * 1.5);
 }
 
+TEST(PressureTraceTest, CanonicalTracePlusStrideMatchesDirectSkip) {
+  // The scenario cache stores pressure traces canonically (skip folded into
+  // max_skip, read through a StridedValueSource). For a lone skip point the
+  // canonical grid has exactly the samples the direct trace generates, so
+  // every value and the range must be bit-identical.
+  PressureTrace::Options direct;
+  direct.num_stations = 64;
+  direct.rounds = 50;
+  direct.seed = 23;
+  direct.skip = 3;
+  PressureTrace::Options canonical = direct;
+  canonical.skip = 0;
+  canonical.max_skip = 3;
+  const PressureTrace a(direct);
+  const PressureTrace b(canonical);
+  const StridedValueSource view(&b, 3);
+  EXPECT_EQ(a.range_min(), view.range_min());
+  EXPECT_EQ(a.range_max(), view.range_max());
+  for (int r = 0; r <= 50; ++r) {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(a.Value(i, r), view.Value(i, r)) << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(PressureTraceTest, CoveringMaxSkipServesEverySkipPoint) {
+  // One densely-covered trace read at different strides: the skip-0 view is
+  // the raw grid and a covered skip must match the same grid subsampled —
+  // the Fig. 10 sweep shares one trace across all its skip points.
+  PressureTrace::Options options;
+  options.num_stations = 16;
+  options.rounds = 30;
+  options.seed = 7;
+  options.max_skip = 15;
+  const PressureTrace trace(options);
+  const StridedValueSource sparse(&trace, 15);
+  for (int r = 0; r <= 30; ++r) {
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(sparse.Value(i, r), trace.Value(i, r * 16));
+    }
+  }
+}
+
 TEST(PressureTraceTest, StationsShareRegionalWeather) {
   PressureTrace::Options options;
   options.num_stations = 30;

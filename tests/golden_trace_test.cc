@@ -115,12 +115,11 @@ TEST(GoldenTraceTest, IqSmallScenarioMatchesFrozenTrace) {
   }
 }
 
-// Runs the golden configuration and returns the serialized trace.
-std::string CaptureTrace() {
+// Runs `config` and returns the serialized trace.
+std::string CaptureTrace(const SimulationConfig& config) {
   trace::InstallGlobalSink("unused.jsonl");
   auto aggregates =
-      RunExperiment(GoldenConfig(),
-                    std::vector<AlgorithmKind>{AlgorithmKind::kIq},
+      RunExperiment(config, std::vector<AlgorithmKind>{AlgorithmKind::kIq},
                     /*runs=*/2);
   EXPECT_TRUE(aggregates.ok()) << aggregates.status().ToString();
   EXPECT_NE(trace::GlobalSink(), nullptr);
@@ -140,15 +139,34 @@ TEST(GoldenTraceTest, ScenarioCacheNeverChangesTrace) {
   std::string cache_off;
   {
     testing_support::ScopedEnv env("WSNQ_SCENARIO_CACHE", "0");
-    cache_off = CaptureTrace();
+    cache_off = CaptureTrace(GoldenConfig());
   }
   std::string cache_on;
   {
     testing_support::ScopedEnv env("WSNQ_SCENARIO_CACHE", "1");
-    cache_on = CaptureTrace();
+    cache_on = CaptureTrace(GoldenConfig());
   }
   ASSERT_FALSE(cache_off.empty());
   EXPECT_EQ(cache_off, cache_on);
+}
+
+TEST(GoldenTraceTest, SubtreeParallelNeverChangesTrace) {
+  // The in-run subtree engine (net/wave.h) records per-part sends and
+  // replays them serially in post order, so every trace byte — network
+  // events included — must match the classic wave loop exactly, for any
+  // thread count and partition choice.
+  if (!trace::CompiledIn()) {
+    GTEST_SKIP() << "build has WSNQ_TRACING off; trace is empty by design";
+  }
+  const std::string serial = CaptureTrace(GoldenConfig());
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {1, 2, 8}) {
+    SimulationConfig config = GoldenConfig();
+    config.subtree_parallel = true;
+    config.threads = threads;
+    EXPECT_EQ(serial, CaptureTrace(config))
+        << "subtree-parallel trace diverged at threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -197,6 +197,36 @@ TEST(ParallelDeterminism, ScenarioCacheNeverChangesAggregates) {
   }
 }
 
+TEST(ParallelDeterminism, SubtreeParallelNeverChangesAggregates) {
+  // In-run subtree parallelism (net/wave.h): every grid case — reliable,
+  // lossy, bursty+ARQ, churn — must agree field-exactly with the classic
+  // serial wave loop for every thread count. On the reliable medium the
+  // engine records sends per part and replays them serially; with a
+  // transport policy it runs the partitioned program inline; both must be
+  // invisible in every aggregate bit.
+  constexpr int kRuns = 4;
+  for (GridCase& grid_case : ConfigGrid()) {
+    grid_case.config.threads = 1;
+    grid_case.config.subtree_parallel = false;
+    auto serial = RunExperiment(grid_case.config, PaperAlgorithms(), kRuns);
+    ASSERT_TRUE(serial.ok())
+        << grid_case.name << ": " << serial.status().ToString();
+    grid_case.config.subtree_parallel = true;
+    for (int threads : {1, 2, 8}) {
+      grid_case.config.threads = threads;
+      auto subtree =
+          RunExperiment(grid_case.config, PaperAlgorithms(), kRuns);
+      ASSERT_TRUE(subtree.ok())
+          << grid_case.name << ": " << subtree.status().ToString();
+      ExpectAggregatesIdentical(
+          serial.value(), subtree.value(),
+          std::string(grid_case.name) +
+              " subtree-parallel threads=" + std::to_string(threads));
+    }
+    grid_case.config.subtree_parallel = false;
+  }
+}
+
 TEST(ParallelDeterminism, ParallelRepeatsAreSelfConsistent) {
   // Scheduling noise between two identical parallel invocations must not
   // leak into the results either.

@@ -108,16 +108,30 @@ TEST(ScenarioCacheKeys, PressureTraceKeyTracksEffectiveRounds) {
   // The generator draws the whole regional series up front, so the trace —
   // including sample 0 — depends on the effective round count and skip.
   SimulationConfig changed = base;
-  // Effective rounds = max(pressure.rounds, rounds + 2): staying under the
-  // default trace coverage (260) leaves the key alone; crossing it widens
-  // the trace and must change the key.
+  // The trace is sized to exactly rounds + 2 samples per stride, so any
+  // round-count change reshapes the grid and must change the key.
   changed.rounds = 100;
-  EXPECT_EQ(key, internal::PressureTraceKey(changed));
+  EXPECT_NE(key, internal::PressureTraceKey(changed));
   changed.rounds = 300;
   EXPECT_NE(key, internal::PressureTraceKey(changed));
+  changed.rounds = base.rounds;
+  EXPECT_EQ(key, internal::PressureTraceKey(changed));
   changed = base;
   changed.pressure.skip = 3;
   EXPECT_NE(key, internal::PressureTraceKey(changed));
+  // Under a covering max_skip the grid is fixed by the coverage stride, so
+  // skip points share one key (and one trace); a skip beyond the cover
+  // widens the grid and must split.
+  SimulationConfig covered = base;
+  covered.pressure.max_skip = 15;
+  const std::string covered_key = internal::PressureTraceKey(covered);
+  changed = covered;
+  changed.pressure.skip = 3;
+  EXPECT_EQ(covered_key, internal::PressureTraceKey(changed));
+  changed.pressure.skip = 15;
+  EXPECT_EQ(covered_key, internal::PressureTraceKey(changed));
+  changed.pressure.skip = 16;
+  EXPECT_NE(covered_key, internal::PressureTraceKey(changed));
   changed = base;
   changed.pressure.range_setting =
       PressureTrace::RangeSetting::kPessimistic;

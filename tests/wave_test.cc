@@ -1,0 +1,172 @@
+// Unit tests of the in-run subtree-parallel convergecast engine
+// (net/wave.h / net/wave.cc): the balanced cut must tile the routing
+// tree's post order exactly, and RunConvergecastWave must produce
+// bit-identical network accounting for every partition and thread count —
+// the slot+ordered-fold contract the differential suites pin end to end.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/energy_model.h"
+#include "net/network.h"
+#include "net/packetizer.h"
+#include "net/placement.h"
+#include "net/radio_graph.h"
+#include "net/wave.h"
+#include "util/rng.h"
+
+namespace wsnq {
+namespace {
+
+Network MakeNetwork(int n, uint64_t seed, int root = 0) {
+  Rng rng(seed);
+  // Sparse placements can't connect at short range; widen it for tiny n.
+  const double range = n >= 32 ? 45.0 : 300.0;
+  auto points = ConnectedPlacement(n, 200.0, 200.0, range, &rng);
+  EXPECT_TRUE(points.ok());
+  auto net = Network::Create(RadioGraph(points.value(), range), root,
+                             EnergyModel{}, Packetizer{});
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+// Flattens a cut's serial program back into the post-order positions it
+// visits, in visit order.
+std::vector<size_t> VisitedPositions(const SubtreeCut& cut,
+                                     const SpanningTree& tree) {
+  std::vector<size_t> visited;
+  for (const SubtreeCut::Step& step : cut.steps) {
+    if (step.part >= 0) {
+      const SubtreeCut::Part& part =
+          cut.parts[static_cast<size_t>(step.part)];
+      for (size_t i = part.begin; i < part.end; ++i) visited.push_back(i);
+    } else {
+      for (size_t i = 0; i < tree.post_order.size(); ++i) {
+        if (tree.post_order[i] == step.vertex) {
+          visited.push_back(i);
+          break;
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+TEST(SubtreeCutTest, StepsTilePostOrderExactlyOnce) {
+  for (const int n : {1, 2, 9, 64, 131}) {
+    const Network net = MakeNetwork(n, static_cast<uint64_t>(n));
+    for (const int parts : {1, 2, 3, 8, 64}) {
+      const SubtreeCut cut = ComputeSubtreeCut(net.tree(), parts);
+      const std::vector<size_t> visited = VisitedPositions(cut, net.tree());
+      ASSERT_EQ(visited.size(), net.tree().post_order.size())
+          << "n=" << n << " parts=" << parts;
+      for (size_t i = 0; i < visited.size(); ++i) {
+        // In order and exactly once: position i is visited i-th.
+        EXPECT_EQ(visited[i], i) << "n=" << n << " parts=" << parts;
+      }
+    }
+  }
+}
+
+TEST(SubtreeCutTest, PartsAreSelfContainedSubtreeRuns) {
+  // Every vertex of a part except fold vertices must have its parent
+  // either inside the same part or outside every part (a fold vertex) —
+  // parts never split a parent from an unprocessed child, which is what
+  // makes their sends replayable without cross-part state.
+  const Network net = MakeNetwork(97, 11);
+  const SpanningTree& tree = net.tree();
+  const SubtreeCut cut = ComputeSubtreeCut(tree, 8);
+  std::vector<int> part_of(tree.post_order.size(), -1);
+  for (size_t p = 0; p < cut.parts.size(); ++p) {
+    for (size_t i = cut.parts[p].begin; i < cut.parts[p].end; ++i) {
+      ASSERT_EQ(part_of[i], -1) << "position in two parts";
+      part_of[i] = static_cast<int>(p);
+    }
+  }
+  std::vector<int> position_of(tree.size(), -1);
+  for (size_t i = 0; i < tree.post_order.size(); ++i) {
+    position_of[static_cast<size_t>(tree.post_order[i])] =
+        static_cast<int>(i);
+  }
+  for (size_t i = 0; i < tree.post_order.size(); ++i) {
+    if (part_of[i] < 0) continue;  // fold vertex, processed live
+    const int v = tree.post_order[i];
+    const int parent = tree.parent[static_cast<size_t>(v)];
+    if (parent < 0) continue;
+    const int pi = position_of[static_cast<size_t>(parent)];
+    ASSERT_GE(pi, 0);
+    if (part_of[static_cast<size_t>(pi)] >= 0) {
+      // A parent inside some part must be in the same part (post order
+      // keeps subtrees contiguous, so this pins the "whole subtrees only"
+      // shape of every part).
+      EXPECT_EQ(part_of[static_cast<size_t>(pi)], part_of[i])
+          << "vertex " << v << " split from its parent " << parent;
+    }
+  }
+}
+
+// Subtree-size Ops: every vertex reports its subtree size as payload, so
+// both the send set and every payload depend on the whole fold being
+// correct. Slots are disjoint per vertex, as the engine requires.
+struct SubtreeSizeOps {
+  const SpanningTree* tree;
+  int root;
+  std::vector<int64_t> size;
+
+  WaveSend Process(int v, WaveLane& /*lane*/) {
+    int64_t total = 1;
+    for (int child : tree->children[static_cast<size_t>(v)]) {
+      total += size[static_cast<size_t>(child)];
+    }
+    size[static_cast<size_t>(v)] = total;
+    WaveSend send;
+    if (v != root) send.payload_bits = total * 16;
+    return send;
+  }
+  void OnLost(int /*v*/) {}
+};
+
+TEST(WaveExecutorTest, PartitionedWaveMatchesSerialBitForBit) {
+  Network serial_net = MakeNetwork(131, 5, /*root=*/3);
+  SubtreeSizeOps serial_ops{&serial_net.tree(), serial_net.root(),
+                            std::vector<int64_t>(131, 0)};
+  RunConvergecastWave(&serial_net, serial_ops);
+
+  for (const int threads : {1, 2, 8}) {
+    for (const int parts : {1, 2, 7, 32}) {
+      Network net = MakeNetwork(131, 5, /*root=*/3);
+      WaveExecutor executor(threads, parts);
+      net.set_wave_executor(&executor);
+      SubtreeSizeOps ops{&net.tree(), net.root(),
+                         std::vector<int64_t>(131, 0)};
+      RunConvergecastWave(&net, ops);
+      EXPECT_EQ(ops.size, serial_ops.size);
+      EXPECT_EQ(net.total_packets(), serial_net.total_packets());
+      for (int v = 0; v < net.num_vertices(); ++v) {
+        // Bit-exact, not approximately equal: the replay must issue the
+        // identical Debit sequence per vertex.
+        EXPECT_EQ(net.total_energy(v), serial_net.total_energy(v))
+            << "threads=" << threads << " parts=" << parts << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(WaveExecutorTest, CutIsCachedUntilTreeEpochChanges) {
+  Network net = MakeNetwork(64, 9);
+  WaveExecutor executor(/*threads=*/2, /*target_parts=*/4);
+  const SubtreeCut& first = executor.CutFor(net);
+  const SubtreeCut* first_ptr = &first;
+  EXPECT_EQ(&executor.CutFor(net), first_ptr);  // cached, same object
+  const size_t parts_before = first.parts.size();
+  net.AdoptTree(SpanningTree(net.tree()));  // epoch bump, same shape
+  const SubtreeCut& second = executor.CutFor(net);
+  EXPECT_EQ(second.parts.size(), parts_before);  // recomputed consistently
+  EXPECT_EQ(second.steps.size(), first.steps.size());
+}
+
+}  // namespace
+}  // namespace wsnq

@@ -25,7 +25,9 @@ loss_sweep, ...) counts as a REGRESSION only when ALL three hold:
 
 All gates must trip; an improvement can never regress. Micro benchmarks
 (Google Benchmark, single sample, no MAD) are compared with a generous
-relative-only threshold (--micro-rel, default 25%).
+relative-only threshold (--micro-rel, default 25%); this is also what
+gates the BM_RunProtocols/{n} per-round protocol medians that track the
+run_protocols hot loop (bench/micro_primitives.cc).
 
 Exit codes: 0 = no regression, 1 = regression(s) flagged, 2 = unusable
 input (missing file, schema mismatch, malformed snapshot). The CI

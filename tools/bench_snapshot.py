@@ -5,7 +5,11 @@ Five measurements, deliberately cheap enough to run on every perf-relevant
 PR (a couple of minutes on one core):
 
   * the micro primitive benchmarks (build/bench/micro_primitives,
-    Google Benchmark JSON) — per-op costs of the sketch/codec hot paths;
+    Google Benchmark JSON) — per-op costs of the sketch/codec hot paths,
+    including BM_RunProtocols/{256,1024,4096}, the per-round cost of the
+    full protocol set over one convergecast tree (the simulator's
+    dominant stage; bench_compare.py gates its medians with every other
+    micro entry);
   * one end-to-end figure sweep (build/bench/fig6_vary_n) at reduced
     WSNQ_RUNS/WSNQ_ROUNDS — the wall clock of the whole simulator stack,
     measured over --reps repetitions (perf/bench_harness.h) so the
@@ -19,7 +23,11 @@ PR (a couple of minutes on one core):
     scenario-construction seconds (experiment/build_scenario plus, cached,
     experiment/prepare_cache) and total wall clock for both, with the
     cache-off/cache-on construction ratio recorded as the speedup the
-    scenario cache (core/scenario_cache.h) is buying;
+    scenario cache (core/scenario_cache.h) is buying. Stage names follow
+    core/experiment.cc: the per-run serial fold reports as
+    "experiment/fold" and the cross-run parallel fold as
+    "experiment/sweep_fold" (historical snapshots before the split merged
+    both under "experiment/fold");
   * one serving-latency run (build/tools/wsnq_served + wsnq_loadgen over
     loopback at --serve-subs concurrent subscriptions, default 100k) —
     subscribe-ack and round-push p50/p99 plus push throughput for the

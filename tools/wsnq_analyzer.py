@@ -29,10 +29,16 @@ Rules
                    fold/aggregate/report/export/serialize paths — the
                    iteration order is implementation-defined, so anything
                    it feeds that reaches output breaks the bit-identical
-                   contract. Lookups (find/count/emplace) are fine.
+                   contract. The partial-wave fold path counts as output:
+                   wave/replay/convergecast contexts (net/wave.h) replay
+                   sends and debit energy straight into the Network, so
+                   hash order there changes accounting bytes. Lookups
+                   (find/count/emplace) are fine.
   fp-reduction     No floating-point accumulation (`+=` on a double/float)
                    inside a loop over an unordered container: FP addition
-                   is not associative, so the sum depends on hash order.
+                   is not associative, so the sum depends on hash order —
+                   in a partial-wave fold that also means the sum depends
+                   on the subtree partition.
   layering         First-party includes must respect the layer DAG
                    util <- net <- {data,fault} <- {algo,sketch} <- core
                    <- {tests,tools,bench,examples}; perf sits beside the
@@ -195,10 +201,13 @@ for _top in ("tests", "tools", "bench", "examples"):
     LAYER_ALLOWED[_top] = set(SRC_LAYERS) | {_top}
 
 # Function-name contexts where unordered iteration order can reach output
-# (fold/aggregate/report/export/serialize paths).
+# (fold/aggregate/report/export/serialize paths, plus the partial-wave
+# fold path of net/wave.h: part replays and fold-vertex processing feed
+# Network accounting directly, so wave/replay/convergecast contexts are
+# output paths too).
 OUTPUT_CONTEXT_RE = re.compile(
     r"(?i)(fold|merge|aggregat|report|export|serial|write|rows|print|csv|"
-    r"json|dump|emit|render|encode)")
+    r"json|dump|emit|render|encode|wave|replay|convergecast)")
 
 SUPPRESS_RE = re.compile(
     r"//\s*wsnq-analyzer:\s*allow\(([^)]*)\)(?:\s*:\s*(\S.*))?")

@@ -11,6 +11,10 @@
 //                           LCLL-S SNAPSHOT SWITCH QDIGEST GK SAMPLE)
 //   --threads=N             worker threads for multi-run experiments
 //                           (0 = auto, 1 = serial; results bit-identical)
+//   --subtree-parallel      split each convergecast wave over subtree cuts
+//                           of the routing tree (net/wave.h), using threads
+//                           left idle by the run-level fan-out; every
+//                           output stays bit-identical
 //   --dataset=synthetic|pressure
 //   --nodes=N --radio=M --phi=F --rounds=R --runs=K --seed=S
 //   --values_per_node=M     multi-value nodes (§2; synthetic only)
@@ -198,6 +202,8 @@ int main(int argc, char** argv) {
 
   const int runs = static_cast<int>(flags.GetInt("runs", 5));
   config.threads = static_cast<int>(flags.GetInt("threads", 0));
+  config.subtree_parallel =
+      flags.GetBool("subtree-parallel", config.subtree_parallel);
   const bool trail = flags.GetBool("trail", false);
   const bool csv = flags.GetBool("csv", false);
   const std::string algo_list = flags.GetString("algo", "IQ");
